@@ -1,0 +1,49 @@
+"""Benchmark configuration.
+
+``REPRO_BENCH_SCALE`` selects the experiment sizing: ``small`` (default,
+minutes) or ``paper`` (full §5 chunk sizes and sweeps).  Every benchmark
+prints the paper-style table it regenerates, so piping the run to a file
+reproduces the evaluation section:
+
+    REPRO_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+from repro.bench import figures
+
+
+def pytest_configure(config):
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    config._repro_scale = figures.get_scale(scale)
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    return request.config._repro_scale
+
+
+@pytest.fixture(scope="session")
+def results_store():
+    """Shared dict so later benchmarks can reuse earlier figure data."""
+    return {}
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print through pytest's capture so tables appear in piped output."""
+
+    def _print(text):
+        with capsys.disabled():
+            print(text)
+
+    return _print
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

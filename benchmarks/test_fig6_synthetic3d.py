@@ -1,0 +1,66 @@
+"""Figure 6 regenerators: the synthetic 3-D dataset (paper §5.3).
+
+Validated shape (paper's findings):
+* beams: Naive and MultiMap stream Dim0; curves are ~2 orders slower
+  there; MultiMap wins every non-primary dimension;
+* ranges: MultiMap >= Naive at low selectivity, dips around 10-40%
+  (the paper observes up to -6% there on the Cheetah), all mappings
+  converge at 100%.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig6a_beam, fig6b_range, headline_summary
+from repro.bench.reporting import render_fig6a, render_fig6b, render_kv
+
+
+def test_fig6a_beam_queries(benchmark, scale, results_store, report):
+    data = run_once(benchmark, fig6a_beam, scale)
+    results_store["fig6a"] = data
+    report("\n" + render_fig6a(data))
+    for disk, per_mapper in data.items():
+        naive, mm = per_mapper["naive"], per_mapper["multimap"]
+        z, h = per_mapper["zorder"], per_mapper["hilbert"]
+        # Dim0: streaming for naive + multimap, orders slower for curves
+        assert mm["dim0"] < naive["dim0"] * 2.0
+        assert min(z["dim0"], h["dim0"]) > 10 * naive["dim0"]
+        # MultiMap wins all non-primary dims
+        for dim in ("dim1", "dim2"):
+            assert mm[dim] < naive[dim]
+            assert mm[dim] < z[dim]
+            assert mm[dim] < h[dim]
+
+
+def test_fig6b_range_queries(benchmark, scale, results_store, report):
+    data = run_once(benchmark, fig6b_range, scale)
+    results_store["fig6b"] = data
+    report("\n" + render_fig6b(data))
+    for disk, payload in data.items():
+        sp = payload["speedup_vs_naive"]
+        sels = sorted(sp["multimap"])
+        low = sels[0]
+        # MultiMap ahead at the lowest selectivity
+        assert sp["multimap"][low] > 1.0
+        # curves beat naive at low selectivity too (clustering)
+        assert sp["zorder"][low] > 1.0
+        assert sp["hilbert"][low] > 1.0
+        # convergence at a full scan
+        assert 0.99 < sp["zorder"][100.0] < 1.01
+        assert 0.99 < sp["hilbert"][100.0] < 1.01
+        assert 0.75 < sp["multimap"][100.0] < 1.1
+
+
+def test_headline_claims(benchmark, results_store, scale, report):
+    def compute():
+        fig6a = results_store.get("fig6a") or fig6a_beam(scale)
+        fig6b = results_store.get("fig6b") or fig6b_range(scale)
+        return headline_summary(fig6a, fig6b)
+
+    summary = run_once(benchmark, compute)
+    for disk, payload in summary.items():
+        report("\n" + render_kv(f"[{disk}] headline summary", payload))
+        # abstract: ~2 orders of magnitude streaming advantage
+        assert payload["dim0_streaming_advantage_vs_curves"] > 10
+        # abstract: beams along other dimensions much faster than naive
+        assert payload["beam_speedup_vs_naive_nonprimary"] > 1.3
+        assert payload["max_range_speedup_multimap"] > 1.0

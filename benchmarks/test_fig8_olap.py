@@ -1,0 +1,36 @@
+"""Figure 8 regenerator: the 4-D OLAP dataset (paper §5.5).
+
+Validated shape (paper's per-query findings):
+* Q1 (beam, major order): Naive ~2 orders faster than the curves;
+  MultiMap matches Naive;
+* Q2 (beam, NationID): MultiMap best; curves beat Naive;
+* Q3 (2-D range incl. major order): Naive good, MultiMap matches;
+* Q4 (3-D range): MultiMap at least matches Naive, curves behind;
+* Q5 (4-D range): curves beat Naive.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig8_olap
+from repro.bench.reporting import render_fig8
+
+
+def test_fig8_olap_queries(benchmark, scale, report):
+    data = run_once(benchmark, fig8_olap, scale)
+    report("\n" + render_fig8(data))
+    for disk, per in data.items():
+        naive, z, h, mm = (
+            per["naive"], per["zorder"], per["hilbert"], per["multimap"]
+        )
+        # Q1: streaming vs curves
+        assert naive["Q1"] * 10 < min(z["Q1"], h["Q1"])
+        assert mm["Q1"] < naive["Q1"] * 2.0
+        # Q2: multimap best (or statistically tied)
+        assert mm["Q2"] <= min(naive["Q2"], z["Q2"], h["Q2"]) * 1.1
+        # Q3: multimap matches naive's sequential advantage
+        assert mm["Q3"] < min(z["Q3"], h["Q3"])
+        assert mm["Q3"] < naive["Q3"] * 1.25
+        # Q4: multimap at least matches naive
+        assert mm["Q4"] <= naive["Q4"] * 1.1
+        # Q5: curves beat naive on the 4-D range
+        assert min(z["Q5"], h["Q5"]) < naive["Q5"]

@@ -1,0 +1,17 @@
+"""§5 analytic-model validation: predictions vs simulator."""
+
+import json
+
+from conftest import run_once
+
+from repro.bench.figures import model_validation
+
+
+def test_model_vs_simulator(benchmark, scale, report):
+    data = run_once(benchmark, model_validation, scale)
+    report("\n" + json.dumps(data, indent=2))
+    for disk, rows in data.items():
+        for name, row in rows.items():
+            # the model captures beams within a 2x band everywhere and
+            # much tighter for the streaming / semi-sequential cases
+            assert 0.5 < row["ratio"] < 2.0, (disk, name, row)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Earthquake workload: MultiMap on a skewed octree dataset (paper §5.4).
+
+Generates the synthetic stand-in for the paper's 64 GB ground-motion
+dataset (variable-resolution octree, two dominant uniform subareas),
+applies §4.5's region detection + per-region MultiMap, and compares beam
+queries along X/Y/Z against the X-major / Z-order / Hilbert leaf layouts.
+
+Run:  python examples/earthquake_scan.py [octree-depth]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bench.reporting import render_table
+from repro.datasets import EarthquakeDataset, build_leaf_layouts
+from repro.disk import atlas_10k3
+
+
+def main(depth: int = 6) -> None:
+    print(f"building octree dataset (depth {depth}) ...")
+    dataset = EarthquakeDataset(depth=depth)
+    print(f"  elements: {dataset.n_elements}")
+    print(f"  levels:   {dataset.octree.levels_histogram()}")
+    print(f"  uniform regions: {len(dataset.regions)}; the top two cover "
+          f"{dataset.region_coverage(2):.0%} of all elements")
+    for r in dataset.regions[:4]:
+        print(f"    origin={r.origin} shape={r.shape} "
+              f"leaf-grid={r.grid} ({r.n_leaves} elements)")
+
+    print("\nbuilding the four leaf layouts ...")
+    layouts = build_leaf_layouts(dataset, atlas_10k3)
+
+    rows = []
+    for name, layout in layouts.items():
+        drive = layout.volume.drive(layout.disk)
+        row = [name]
+        for axis, label in enumerate("XYZ"):
+            rng = np.random.default_rng(11 + axis)
+            vals = []
+            for _ in range(8):
+                leaves = dataset.beam_leaves(axis, rng)
+                plan = layout.plan_for_leaves(leaves, for_beam=True)
+                drive.randomize_position(rng)
+                res = drive.service_runs(
+                    plan.starts, plan.lengths,
+                    policy=layout.policy, window=128,
+                )
+                vals.append(res.total_ms / leaves.size)
+            row.append(f"{np.mean(vals):.3f}")
+        rows.append(row)
+
+    print("\nbeam queries, avg I/O ms per element (cf. paper Figure 7a)")
+    print(render_table(["mapping", "X", "Y", "Z"], rows))
+    print(
+        "\nMultiMap streams X inside each uniform region and semi-"
+        "sequentially\nfetches Y and Z; the linearised layouts pay"
+        " rotational latency on\ntheir non-major axes."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 6)

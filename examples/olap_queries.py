@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""OLAP workload: the paper's §5.5 TPC-H cube and queries Q1-Q5.
+
+Generates a scaled TPC-H-like fact table, aggregates it into the 4-D cube
+(OrderDate x ProductType x Nation x Quantity), rolls OrderDate up by 2 as
+the paper does, then runs the five evaluation queries against a per-disk
+chunk under all four layouts.
+
+Run:  python examples/olap_queries.py
+"""
+
+import numpy as np
+
+from repro.bench.reporting import render_table
+from repro.datasets import (
+    OLAPCube,
+    build_chunk_mappers,
+    generate_fact_table,
+    paper_olap_queries,
+)
+from repro.disk import atlas_10k3
+from repro.query import StorageManager
+
+CHUNK = (296, 38, 25, 25)  # scaled-down per-disk chunk (paper: 591x75x25x25)
+
+
+def main() -> None:
+    print("generating TPC-H-like fact table (200k lineitems) ...")
+    table = generate_fact_table(200_000)
+    cube = OLAPCube.from_fact_table(table)
+    rolled = cube.roll_up_orderdate(2)
+    print(f"  raw cube    {cube.dims}: {cube.mean_points_per_cell:.4f} "
+          f"points/cell, occupancy {cube.occupancy():.1%}")
+    print(f"  rolled cube {rolled.dims}: {rolled.mean_points_per_cell:.4f} "
+          f"points/cell (the paper's roll-up-by-2 on OrderDate)")
+
+    print(f"\nplacing a {CHUNK} chunk with all four layouts ...")
+    mappers = build_chunk_mappers(CHUNK, atlas_10k3)
+
+    queries = {
+        "Q1  profit of product P, quantity Q, nation C, all dates",
+        "Q2  ... on one date over all nations",
+        "Q3  product P, nation C, all quantities, one year",
+        "Q4  product P, one year, all nations and quantities",
+        "Q5  10 products x 10 quantities x 10 nations x 20 days",
+    }
+    print("\n".join(sorted(queries)))
+
+    rows = []
+    for name, (mapper, volume) in mappers.items():
+        sm = StorageManager(volume)
+        series = {}
+        for run in range(3):
+            rng = np.random.default_rng(23 + run)
+            for qname, query in paper_olap_queries(CHUNK, rng).items():
+                res = sm.run_query(mapper, query, rng=rng)
+                series.setdefault(qname, []).append(res.ms_per_cell)
+        rows.append(
+            [name]
+            + [f"{np.mean(series[q]):.3f}" for q in ("Q1", "Q2", "Q3", "Q4", "Q5")]
+        )
+
+    print("\navg I/O ms per cell (cf. paper Figure 8)")
+    print(render_table(["mapping", "Q1", "Q2", "Q3", "Q4", "Q5"], rows))
+    print(
+        "\nQ1 shows the two-orders-of-magnitude streaming gap between the"
+        "\nlinearised curves and Naive/MultiMap; Q2 shows MultiMap's semi-"
+        "\nsequential advantage on a non-major dimension."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: map a 3-D dataset four ways and compare query I/O times.
+
+Builds a simulated Maxtor Atlas 10k III, places a 216x64x64 cell dataset
+with each of the paper's four layouts (Naive, Z-order, Hilbert, MultiMap),
+and runs one beam query per dimension plus a 1% range query — the
+miniature version of the paper's Figure 6.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.bench.reporting import render_table
+from repro.datasets import build_chunk_mappers
+from repro.disk import atlas_10k3
+from repro.query import StorageManager, random_beam, random_range_cube
+
+DIMS = (216, 64, 64)
+
+
+def main() -> None:
+    print(f"dataset: {DIMS} cells, one 512-byte block per cell")
+    print(f"disk:    {atlas_10k3().name} (simulated)\n")
+
+    mappers = build_chunk_mappers(DIMS, atlas_10k3)
+
+    rows = []
+    for name, (mapper, volume) in mappers.items():
+        sm = StorageManager(volume)
+        row = [name]
+        for axis in range(3):
+            rng = np.random.default_rng(42 + axis)
+            vals = [
+                sm.beam(mapper, q.axis, q.fixed, rng=rng).ms_per_cell
+                for q in (random_beam(DIMS, axis, rng) for _ in range(5))
+            ]
+            row.append(f"{np.mean(vals):.3f}")
+        rng = np.random.default_rng(7)
+        q = random_range_cube(DIMS, 1.0, rng)
+        row.append(f"{sm.range(mapper, q.lo, q.hi, rng=rng).total_ms:.0f}")
+        rows.append(row)
+
+    print(render_table(
+        ["mapping", "beam dim0 (ms/cell)", "beam dim1", "beam dim2",
+         "1% range (ms)"],
+        rows,
+    ))
+    print(
+        "\nExpected shape (paper, Figure 6): Naive and MultiMap stream"
+        " Dim0;\nMultiMap's other dimensions cost ~one settle time per"
+        " cell while Naive\npays rotational latency and the curves pay"
+        " even more; MultiMap leads\nthe low-selectivity range query."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package, which the PEP-517
+editable-install path requires.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` on machines that do have wheel) work everywhere.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

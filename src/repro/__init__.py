@@ -1,0 +1,22 @@
+"""repro — reproduction of MultiMap (Shao et al., ICDE 2007).
+
+MultiMap maps N-dimensional datasets onto disks so that one dimension gets
+full streaming bandwidth and every other dimension gets *semi-sequential*
+access (settle-time hops with zero rotational latency) via the adjacency
+model of modern disks.
+
+Public surface
+--------------
+``repro.disk``      simulated drives, adjacency model, characterisation
+``repro.lvm``       logical volumes and chunk declustering
+``repro.mappings``  Naive / Z-order / Hilbert / Gray baselines
+``repro.core``      MultiMap itself: basic cubes, planner, mapper
+``repro.query``     beam and range queries, storage manager
+``repro.datasets``  the paper's three evaluation datasets
+``repro.analytic``  the expected-cost model
+``repro.bench``     one regenerator per paper figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,5 @@
+"""Analytical expected-cost model (paper §5 / CMU-PDL-05-102)."""
+
+from repro.analytic.model import AnalyticModel, DriveParameters
+
+__all__ = ["AnalyticModel", "DriveParameters"]

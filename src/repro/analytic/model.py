@@ -1,0 +1,239 @@
+"""Expected-cost model for Naive and MultiMap queries (paper §5).
+
+The paper references an analytical model (technical report CMU-PDL-05-102)
+that "calculates the expected cost in terms of total I/O time for Naive
+and MultiMap given disk parameters, the dimensions of the dataset, and the
+size of the query".  This module provides that model for our simulated
+drives; the validation benchmark checks it against the simulator.
+
+The model works from a handful of drive parameters — rotation, settle,
+command overhead, track length, adjacency offset, seek curve — and the
+usual independence approximations (uniformly distributed rotational phase
+at arrival for non-chained requests).  It intentionally ignores zone
+transitions and cube-grid edge effects, so expect agreement within tens of
+percent, not exactness; the tests pin the tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.disk.adjacency import AdjacencyModel
+from repro.disk.models import DiskModel
+from repro.errors import QueryError
+
+__all__ = ["DriveParameters", "AnalyticModel"]
+
+
+@dataclass(frozen=True)
+class DriveParameters:
+    """The inputs the cost model needs, per zone."""
+
+    rotation_ms: float
+    settle_ms: float
+    overhead_ms: float
+    track_length: int
+    adjacency_offset: int  # A, in sectors
+    avg_seek_ms: float
+    depth: int
+
+    @property
+    def sector_ms(self) -> float:
+        return self.rotation_ms / self.track_length
+
+    @property
+    def hop_ms(self) -> float:
+        """Semi-sequential start-to-start cadence."""
+        return self.adjacency_offset * self.sector_ms
+
+    @classmethod
+    def from_model(
+        cls, model: DiskModel, zone_index: int = 0, depth: int | None = None
+    ) -> "DriveParameters":
+        adj = AdjacencyModel.for_model(model, depth=depth)
+        zone = model.geometry.zone(zone_index)
+        mech = model.mechanics
+        return cls(
+            rotation_ms=mech.rotation_ms,
+            settle_ms=mech.settle_ms,
+            overhead_ms=mech.command_overhead_ms,
+            track_length=zone.sectors_per_track,
+            adjacency_offset=adj.adjacency_offset_sectors(zone_index),
+            avg_seek_ms=mech.seek.avg_seek_ms,
+            depth=adj.D,
+        )
+
+
+class AnalyticModel:
+    """Expected I/O times for beam and range queries."""
+
+    def __init__(self, params: DriveParameters):
+        self.p = params
+
+    # ------------------------------------------------------------------
+    # primitive access-pattern costs
+    # ------------------------------------------------------------------
+
+    def initial_positioning_ms(self) -> float:
+        """Average seek plus half a rotation: cost of getting started."""
+        return self.p.avg_seek_ms + self.p.rotation_ms / 2.0
+
+    def streaming_ms(self, n_blocks: int) -> float:
+        """Sequential transfer including skewed track switches."""
+        p = self.p
+        tracks_crossed = n_blocks // p.track_length
+        # each boundary costs about one settle's worth of rotation
+        return n_blocks * p.sector_ms + tracks_crossed * p.settle_ms
+
+    def stride_step_ms(self, stride_blocks: int, transfer_blocks: int = 1
+                       ) -> float:
+        """Expected cost of the next request at a fixed forward stride.
+
+        Strides below a track wait for the platter to carry the target
+        around (the full stride's rotation if the command overhead fits in
+        the gap, a whole extra revolution if it does not); larger strides
+        pay settle/seek plus average rotational latency.
+        """
+        p = self.p
+        rot = p.rotation_ms
+        if stride_blocks <= 0:
+            raise QueryError("stride must be positive")
+        in_track = stride_blocks % p.track_length
+        tracks = stride_blocks // p.track_length
+        if tracks == 0:
+            gap = (in_track - transfer_blocks) * p.sector_ms
+            same_track_cost = (
+                in_track * p.sector_ms
+                if gap >= p.overhead_ms
+                else p.overhead_ms + rot - (gap if gap > 0 else 0)
+            )
+            # crossing probability: the stride wraps past the track end for
+            # a `in_track / track_length` fraction of starting positions
+            p_cross = in_track / p.track_length
+            cross_cost = (
+                p.overhead_ms + p.settle_ms + rot / 2.0
+                + transfer_blocks * p.sector_ms
+            )
+            return (1 - p_cross) * same_track_cost + p_cross * cross_cost
+        cylinders = max(tracks // 4, 1)  # surfaces folded into the curve
+        seek = p.settle_ms if cylinders <= 32 else p.avg_seek_ms
+        return (
+            p.overhead_ms + seek + rot / 2.0 + transfer_blocks * p.sector_ms
+        )
+
+    def semi_sequential_step_ms(self, transfer_blocks: int = 1) -> float:
+        """One semi-sequential hop: an adjacency offset of rotation."""
+        extra = max(transfer_blocks - 1, 0) * self.p.sector_ms
+        return self.p.hop_ms + extra
+
+    # ------------------------------------------------------------------
+    # Naive costs
+    # ------------------------------------------------------------------
+
+    def naive_beam_ms(self, dims, axis: int) -> float:
+        """Expected total time of a full beam along ``axis``."""
+        dims = tuple(int(s) for s in dims)
+        n = dims[axis]
+        if axis == 0:
+            return self.initial_positioning_ms() + self.streaming_ms(n)
+        stride = int(np.prod(dims[:axis], dtype=np.int64))
+        return self.initial_positioning_ms() + (n - 1) * self.stride_step_ms(
+            stride
+        ) + self.p.sector_ms
+
+    def naive_range_ms(self, dims, shape) -> float:
+        """Expected total time of a range query of the given box shape."""
+        dims = tuple(int(s) for s in dims)
+        shape = tuple(int(w) for w in shape)
+        if len(shape) != len(dims):
+            raise QueryError("shape rank mismatch")
+        w0 = shape[0]
+        rows = int(np.prod(shape[1:], dtype=np.int64))
+        if rows == 0:
+            return 0.0
+        if w0 == dims[0] and len(dims) > 1 and shape[1] == dims[1]:
+            # contiguous slab: streams
+            return self.initial_positioning_ms() + self.streaming_ms(
+                int(np.prod(shape, dtype=np.int64))
+            )
+        row_step = self.stride_step_ms(dims[0], transfer_blocks=w0)
+        # jumps between planes (dims >= 2) cost a short seek + latency
+        jumps = 0
+        if len(shape) > 2:
+            jumps = int(np.prod(shape[2:], dtype=np.int64))
+        jump_extra = max(
+            0.0,
+            (self.p.overhead_ms + self.p.settle_ms + self.p.rotation_ms / 2)
+            - row_step,
+        )
+        return (
+            self.initial_positioning_ms()
+            + rows * row_step
+            + jumps * jump_extra
+        )
+
+    # ------------------------------------------------------------------
+    # MultiMap costs
+    # ------------------------------------------------------------------
+
+    def multimap_beam_ms(self, dims, axis: int, K=None) -> float:
+        """Expected total time of a MultiMap beam along ``axis``."""
+        dims = tuple(int(s) for s in dims)
+        n = dims[axis]
+        if axis == 0:
+            return self.initial_positioning_ms() + self.streaming_ms(n)
+        hop = self.semi_sequential_step_ms()
+        boundary_jumps = 0
+        if K is not None:
+            boundary_jumps = max(math.ceil(n / int(K[axis])) - 1, 0)
+        jump_cost = (
+            self.p.overhead_ms + self.p.settle_ms + self.p.rotation_ms / 2
+        )
+        return (
+            self.initial_positioning_ms()
+            + (n - 1 - boundary_jumps) * hop
+            + boundary_jumps * jump_cost
+            + self.p.sector_ms
+        )
+
+    def multimap_range_ms(self, dims, shape, K=None) -> float:
+        """Expected total time of a MultiMap range query.
+
+        Per row: command overhead + settle + residual alignment + row
+        transfer, where the residual alignment reflects the scheduler
+        weaving rows along the adjacency-offset lattice (a fraction of the
+        offset on average).
+        """
+        dims = tuple(int(s) for s in dims)
+        shape = tuple(int(w) for w in shape)
+        w0 = shape[0]
+        rows = int(np.prod(shape[1:], dtype=np.int64))
+        if rows == 0:
+            return 0.0
+        p = self.p
+        transfer = w0 * p.sector_ms
+        align = 0.35 * p.hop_ms  # empirical weave residual
+        row_cost = p.overhead_ms + p.settle_ms + align + transfer
+        # a row can never beat the semi-sequential cadence
+        row_cost = max(row_cost, self.semi_sequential_step_ms(w0))
+        return self.initial_positioning_ms() + rows * row_cost
+
+    # ------------------------------------------------------------------
+    # headline comparisons
+    # ------------------------------------------------------------------
+
+    def predicted_beam_speedups(self, dims, K=None) -> dict[int, float]:
+        """Naive/MultiMap beam time ratio for every axis."""
+        return {
+            axis: self.naive_beam_ms(dims, axis)
+            / self.multimap_beam_ms(dims, axis, K)
+            for axis in range(len(dims))
+        }
+
+    def predicted_range_speedup(self, dims, shape, K=None) -> float:
+        return self.naive_range_ms(dims, shape) / self.multimap_range_ms(
+            dims, shape, K
+        )

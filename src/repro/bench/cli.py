@@ -1,0 +1,53 @@
+"""Command-line entry point: ``python -m repro.bench`` / ``multimap-bench``.
+
+Examples::
+
+    multimap-bench --scale small --figure fig6a
+    multimap-bench --scale paper --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.harness import FIGURES, run_all
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="multimap-bench",
+        description="Regenerate the MultiMap paper's figures on the "
+        "simulated disks.",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("paper", "small"),
+        default="paper",
+        help="experiment sizing (paper = full chunks and sweeps)",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        choices=FIGURES,
+        help="run only the given figure(s); repeatable",
+    )
+    parser.add_argument(
+        "--out", default=None, help="directory for JSON results"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress table output"
+    )
+    args = parser.parse_args(argv)
+    run_all(
+        scale_name=args.scale,
+        out_dir=args.out,
+        only=tuple(args.figure) if args.figure else None,
+        quiet=args.quiet,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

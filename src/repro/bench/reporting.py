@@ -1,0 +1,77 @@
+"""Rendering benchmark results as paper-style text tables."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["render_table", "render_fig6a", "render_fig6b", "render_fig8",
+           "render_kv"]
+
+
+def render_table(headers: list[str], rows: Iterable[list]) -> str:
+    """Plain fixed-width table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    sep = "-" * len(line)
+    body = [
+        "  ".join(c.rjust(w) if i else c.ljust(w)
+                  for i, (c, w) in enumerate(zip(row, widths)))
+        for row in rows
+    ]
+    return "\n".join([line, sep] + body)
+
+
+def render_kv(title: str, data: dict) -> str:
+    lines = [title]
+    for k, v in data.items():
+        lines.append(f"  {k}: {v}")
+    return "\n".join(lines)
+
+
+def render_fig6a(data: dict) -> str:
+    """Per-disk beam tables (rows = mapping, cols = dimension)."""
+    parts = []
+    for disk, per_mapper in data.items():
+        axes = list(next(iter(per_mapper.values())).keys())
+        rows = [
+            [mname] + [per_mapper[mname][a] for a in axes]
+            for mname in per_mapper
+        ]
+        parts.append(f"[{disk}] beam queries, avg I/O ms per cell")
+        parts.append(render_table(["mapping"] + axes, rows))
+    return "\n".join(parts)
+
+
+def render_fig6b(data: dict) -> str:
+    parts = []
+    for disk, payload in data.items():
+        speedups = payload["speedup_vs_naive"]
+        sels = list(next(iter(speedups.values())).keys())
+        rows = [
+            [mname] + [speedups[mname][s] for s in sels]
+            for mname in speedups
+        ]
+        parts.append(f"[{disk}] range-query speedup vs Naive")
+        parts.append(
+            render_table(
+                ["mapping"] + [f"{s}%" for s in sels], rows
+            )
+        )
+    return "\n".join(parts)
+
+
+def render_fig8(data: dict) -> str:
+    parts = []
+    for disk, per_mapper in data.items():
+        qnames = list(next(iter(per_mapper.values())).keys())
+        rows = [
+            [mname] + [per_mapper[mname][q] for q in qnames]
+            for mname in per_mapper
+        ]
+        parts.append(f"[{disk}] OLAP queries, avg I/O ms per cell")
+        parts.append(render_table(["mapping"] + qnames, rows))
+    return "\n".join(parts)

@@ -1,0 +1,33 @@
+"""MultiMap itself: basic cubes, planner, mapper, regions, updates."""
+
+from repro.core.basic_cube import BasicCube, map_cell, max_dimensions
+from repro.core.multimap import MultiMapMapper, ZoneAllocation
+from repro.core.planner import CubePlan, plan_basic_cube, track_waste_fraction
+from repro.core.regions import RegionMapping, UniformRegion, merge_uniform_octants
+from repro.core.store import CellStore, StoreStats
+from repro.core.visualize import (
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_mapping,
+)
+
+__all__ = [
+    "BasicCube",
+    "CellStore",
+    "CubePlan",
+    "MultiMapMapper",
+    "RegionMapping",
+    "StoreStats",
+    "UniformRegion",
+    "ZoneAllocation",
+    "map_cell",
+    "max_dimensions",
+    "merge_uniform_octants",
+    "plan_basic_cube",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_mapping",
+    "track_waste_fraction",
+]

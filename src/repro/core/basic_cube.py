@@ -1,0 +1,141 @@
+"""Basic cubes: the unit of MultiMap allocation (paper §4.2).
+
+A *basic cube* is the largest N-D data cube that can be mapped onto a disk
+without losing spatial locality.  Its side lengths ``K = (K0 .. K_{N-1})``
+must satisfy the paper's three constraints:
+
+* **Equation 1** — ``K0 <= T``: the first dimension lies along a track.
+* **Equation 2** — ``K_{N-1} <= tracks_in_zone / prod(K1 .. K_{N-2})``:
+  the last dimension is bounded by the zone's track count.
+* **Equation 3** — ``prod(K1 .. K_{N-2}) <= D``: every step along the last
+  dimension must stay within the adjacency distance.
+
+Within a cube, Dim0 runs along the track and Dim_i (i >= 1) follows
+successive ``prod(K1..K_{i-1})``-th adjacent blocks.  The iterative
+``map_cell`` below is a faithful transcription of the paper's Figure 5
+algorithm, driving the LVM's ``get_adjacent`` interface call; the closed
+form used by the vectorised mapper lives in
+:mod:`repro.core.multimap` and is property-tested against this one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MappingError
+
+__all__ = ["BasicCube", "map_cell", "max_dimensions"]
+
+
+@dataclass(frozen=True)
+class BasicCube:
+    """Validated basic-cube shape for a given zone.
+
+    Parameters
+    ----------
+    K:
+        Side lengths, ``K[0]`` along the track.
+    track_length:
+        The zone's *T* (in cells; divide the sector count by the cell size
+        first when cells span multiple blocks).
+    zone_tracks:
+        Number of tracks in the target zone (Equation 2 bound).
+    depth:
+        The adjacency distance *D*.
+    """
+
+    K: tuple[int, ...]
+    track_length: int
+    zone_tracks: int
+    depth: int
+
+    def __post_init__(self) -> None:
+        K = tuple(int(k) for k in self.K)
+        object.__setattr__(self, "K", K)
+        if not K or any(k < 1 for k in K):
+            raise MappingError(f"invalid cube sides {K}")
+        if K[0] > self.track_length:  # Equation 1
+            raise MappingError(
+                f"K0={K[0]} exceeds track length {self.track_length}"
+            )
+        if self.inner_volume > self.depth:  # Equation 3
+            raise MappingError(
+                f"prod(K1..K_N-2)={self.inner_volume} exceeds D={self.depth}"
+            )
+        if self.n_dims >= 2 and K[-1] > self.zone_tracks // self.inner_volume:
+            # Equation 2
+            raise MappingError(
+                f"K_N-1={K[-1]} exceeds zone capacity"
+                f" {self.zone_tracks}/{self.inner_volume}"
+            )
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.K)
+
+    @property
+    def inner_volume(self) -> int:
+        """prod(K1 .. K_{N-2}) — the Equation 3 quantity."""
+        return int(np.prod(self.K[1:-1], dtype=np.int64)) if self.n_dims > 2 else 1
+
+    @property
+    def tracks_per_cube(self) -> int:
+        """Tracks one cube occupies: prod(K1 .. K_{N-1})."""
+        return int(np.prod(self.K[1:], dtype=np.int64)) if self.n_dims > 1 else 1
+
+    @property
+    def cells_per_cube(self) -> int:
+        return int(np.prod(self.K, dtype=np.int64))
+
+    def adjacency_steps(self) -> tuple[int, ...]:
+        """Adjacency step used for each dimension i >= 1:
+        step_i = prod(K1 .. K_{i-1})."""
+        steps = []
+        acc = 1
+        for i in range(1, self.n_dims):
+            steps.append(acc)
+            acc *= self.K[i]
+        return tuple(steps)
+
+    def track_deltas(self, coords: np.ndarray) -> np.ndarray:
+        """Track offset of each cell within its cube: the mixed-radix value
+        of (x1 .. x_{N-1}) with radices (K1 .. K_{N-1})."""
+        steps = self.adjacency_steps()
+        out = np.zeros(coords.shape[0], dtype=np.int64)
+        for i in range(1, self.n_dims):
+            out += coords[:, i] * steps[i - 1]
+        return out
+
+
+def map_cell(adjacency, first_lbn: int, coords, K) -> int:
+    """Figure 5: map one cell of a basic cube to an LBN.
+
+    ``adjacency`` is anything exposing ``get_adjacent(lbn, step)`` — an
+    :class:`~repro.disk.adjacency.AdjacencyModel` or a logical-volume
+    shim.  ``first_lbn`` stores cell (0, .., 0).
+    """
+    coords = tuple(int(x) for x in coords)
+    K = tuple(int(k) for k in K)
+    if len(coords) != len(K):
+        raise MappingError("coords rank does not match cube rank")
+    for x, k in zip(coords, K):
+        if not 0 <= x < k:
+            raise MappingError(f"cell {coords} outside cube {K}")
+    lbn = first_lbn + coords[0]
+    step = 1
+    for i in range(1, len(K)):
+        for _ in range(coords[i]):
+            lbn = adjacency.get_adjacent(lbn, step)
+        step *= K[i]
+    return lbn
+
+
+def max_dimensions(depth: int) -> int:
+    """Equation 5: N_max = 2 + log2(D), the dimensionality a disk supports
+    (each inner dimension needs K_i >= 2)."""
+    if depth < 1:
+        raise MappingError("depth must be >= 1")
+    return 2 + int(math.log2(depth))

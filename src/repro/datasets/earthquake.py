@@ -1,0 +1,191 @@
+"""Synthetic stand-in for the paper's 3-D earthquake dataset (§5.4).
+
+The original is a 64 GB ground-motion model of a 38x38x14 km volume near
+Los Angeles: ~114 M variable-resolution elements indexed by an octree,
+denser where soil is softer (near the surface and around the fault).  It
+is not redistributable, so this module generates a *structurally
+equivalent* dataset: an octree whose refinement follows a depth-layered
+velocity profile with a soft basin, tuned so that (like the original)
+there are a handful of uniform subareas with two of them jointly covering
+well over 60% of the elements.
+
+The four layouts of the evaluation are provided: X-major Naive, Z-order
+and Hilbert over leaf centroids, and MultiMap applied per uniform region
+(§4.5) with a linear fallback for the skewed remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.regions import RegionMapping, merge_uniform_octants
+from repro.errors import DatasetError
+from repro.index.octree import Octree
+from repro.lvm.volume import LogicalVolume
+from repro.mappings import curves
+from repro.mappings.base import RequestPlan, coalesce_ranks
+
+__all__ = ["EarthquakeDataset", "LeafLayout", "build_leaf_layouts"]
+
+
+def _layered_level_fn(depth: int, basin_center, basin_radius_frac=0.28):
+    """Refinement demand: finer near the surface, finest inside a basin.
+
+    ``z`` is depth below the surface (z = 0 is the surface).  Layers give
+    large uniform slabs (the paper's dataset has "roughly four uniform
+    subareas"); the basin adds a skewed, non-uniform area that exercises
+    the fallback path.
+    """
+    side = 1 << depth
+    bx, by = basin_center
+
+    def level_fn(x, y, z, box_side):
+        # max demanded level anywhere inside the box
+        z_top = z  # shallowest point of the box
+        if z_top < side // 4:
+            base = depth  # soft shallow layer: finest
+        elif z_top < side // 2:
+            base = depth - 1
+        else:
+            base = depth - 2
+        # basin: a column of extra refinement with skewed boundary
+        cx = min(abs(x - bx), abs(x + box_side - 1 - bx))
+        cy = min(abs(y - by), abs(y + box_side - 1 - by))
+        if x <= bx < x + box_side:
+            cx = 0
+        if y <= by < y + box_side:
+            cy = 0
+        r = (cx * cx + cy * cy) ** 0.5
+        if r < basin_radius_frac * side and z_top < side // 2:
+            base = depth
+        return base
+
+    return level_fn
+
+
+@dataclass
+class LeafLayout:
+    """A layout of octree leaves: leaf index -> LBN."""
+
+    name: str
+    volume: LogicalVolume
+    disk: int
+    _lbn_of_leaf: np.ndarray
+    policy: str = "sorted"
+
+    def plan_for_leaves(self, leaf_indices, *, for_beam: bool = False
+                        ) -> RequestPlan:
+        lbns = np.sort(self._lbn_of_leaf[np.asarray(leaf_indices, np.int64)])
+        starts, lengths = coalesce_ranks(np.unique(lbns))
+        return RequestPlan(
+            starts,
+            lengths,
+            policy=self.policy,
+            merge_gap=0 if for_beam else None,
+        )
+
+
+class EarthquakeDataset:
+    """The synthetic skewed dataset plus its octree and uniform regions."""
+
+    def __init__(
+        self,
+        depth: int = 6,
+        *,
+        basin_center=None,
+        min_region_leaves: int = 64,
+    ):
+        if depth < 3:
+            raise DatasetError("depth must be >= 3")
+        self.depth = depth
+        side = 1 << depth
+        if basin_center is None:
+            basin_center = (int(side * 0.68), int(side * 0.31))
+        self.octree = Octree(depth, _layered_level_fn(depth, basin_center))
+        self.regions = merge_uniform_octants(
+            self.octree, min_leaves=min_region_leaves
+        )
+
+    @property
+    def side(self) -> int:
+        return 1 << self.depth
+
+    @property
+    def n_elements(self) -> int:
+        return self.octree.n_leaves
+
+    def region_coverage(self, top_k: int | None = None) -> float:
+        """Fraction of elements inside the top-k uniform regions."""
+        regions = self.regions if top_k is None else self.regions[:top_k]
+        covered = sum(r.n_leaves for r in regions)
+        return covered / self.n_elements
+
+    # ------------------------------------------------------------------
+    # queries (in finest-grid coordinates)
+    # ------------------------------------------------------------------
+
+    def beam_leaves(self, axis: int, rng: np.random.Generator) -> np.ndarray:
+        """Leaves crossed by a random full-length line along ``axis``."""
+        others = [d for d in range(3) if d != axis]
+        fixed = tuple(int(rng.integers(0, self.side)) for _ in others)
+        return self.octree.leaves_on_line(axis, fixed)
+
+    def range_leaves(
+        self, selectivity_pct: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Leaves intersecting a random cube of ~p% of the volume."""
+        if not 0 < selectivity_pct <= 100:
+            raise DatasetError("selectivity must be in (0, 100]")
+        frac = (selectivity_pct / 100.0) ** (1.0 / 3.0)
+        w = max(1, round(self.side * frac))
+        lo = tuple(
+            int(rng.integers(0, self.side - w + 1)) for _ in range(3)
+        )
+        hi = tuple(a + w for a in lo)
+        return self.octree.leaves_in_box(lo, hi)
+
+
+def build_leaf_layouts(
+    dataset: EarthquakeDataset,
+    model_factory,
+    *,
+    depth: int = 128,
+    which=("naive", "zorder", "hilbert", "multimap"),
+) -> dict[str, LeafLayout]:
+    """Build the four §5.4 layouts, each on a fresh volume."""
+    octree = dataset.octree
+    origins = octree.leaf_origins()
+    n = octree.n_leaves
+    bits = curves.bits_for((dataset.side,) * 3)
+    centers = origins[:, :3] + origins[:, 3:4] // 2
+
+    out: dict[str, LeafLayout] = {}
+    for name in which:
+        volume = LogicalVolume([model_factory()], depth=depth)
+        if name == "multimap":
+            mapping = RegionMapping(octree, dataset.regions, volume, 0)
+            lbns = mapping.leaf_lbns(np.arange(n))
+            out[name] = LeafLayout(name, volume, 0, lbns, policy="sptf")
+            continue
+        if name == "naive":
+            # X-major order of leaf origins (paper: "Naive uses X as the
+            # major order"): X varies fastest so X-beams stream, like
+            # Dim0 in the grid layouts.
+            order = np.lexsort(
+                (origins[:, 0], origins[:, 1], origins[:, 2])
+            )
+        elif name == "zorder":
+            codes = curves.morton_encode(centers, bits)
+            order = np.argsort(codes, kind="stable")
+        elif name == "hilbert":
+            codes = curves.hilbert_encode(centers, bits)
+            order = np.argsort(codes, kind="stable")
+        else:
+            raise DatasetError(f"unknown layout {name!r}")
+        extent = volume.allocate_blocks(0, n)
+        lbns = np.empty(n, dtype=np.int64)
+        lbns[order] = extent.start + np.arange(n)
+        out[name] = LeafLayout(name, volume, 0, lbns)
+    return out

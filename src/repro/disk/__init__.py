@@ -1,0 +1,45 @@
+"""Disk-drive simulation substrate.
+
+The MultiMap paper runs on real SCSI drives; this package replaces them
+with a first-principles simulator: zoned geometry (:mod:`~repro.disk.geometry`),
+mechanical timing (:mod:`~repro.disk.mechanics`), a drive with positional
+state and batch schedulers (:mod:`~repro.disk.drive`), the adjacency model
+(:mod:`~repro.disk.adjacency`), parameterised models of the paper's two
+drives (:mod:`~repro.disk.models`), and black-box characterisation
+(:mod:`~repro.disk.characterize`).
+"""
+
+from repro.disk.adjacency import AdjacencyModel
+from repro.disk.characterize import DiskProfile, extract_profile, measure_seek_profile
+from repro.disk.drive import BatchResult, DiskDrive, RunTiming, TrackCache
+from repro.disk.geometry import DiskGeometry, Zone
+from repro.disk.mechanics import DiskMechanics, SeekProfile
+from repro.disk.models import (
+    DiskModel,
+    atlas_10k3,
+    cheetah_36es,
+    paper_disks,
+    synthetic_disk,
+    toy_disk,
+)
+
+__all__ = [
+    "AdjacencyModel",
+    "BatchResult",
+    "DiskDrive",
+    "DiskGeometry",
+    "DiskMechanics",
+    "DiskModel",
+    "DiskProfile",
+    "RunTiming",
+    "SeekProfile",
+    "TrackCache",
+    "Zone",
+    "atlas_10k3",
+    "cheetah_36es",
+    "extract_profile",
+    "measure_seek_profile",
+    "paper_disks",
+    "synthetic_disk",
+    "toy_disk",
+]

@@ -1,0 +1,200 @@
+"""The adjacency model: adjacent blocks and semi-sequential access.
+
+This implements the generalised disk model of Schlosser et al. (FAST 2005)
+that MultiMap builds on.  Two concepts:
+
+* **Adjacent blocks.**  For a starting block *b* there are ``D = R * C``
+  adjacent blocks, one on each of the next *D* tracks (*R* surfaces times
+  *C* cylinders reachable within the settle time).  The *j*-th adjacent
+  block sits at the same *angular* offset from *b* for every *j* — the
+  angle the platter rotates during one settle — so accessing any of them
+  costs exactly the settle time, with no rotational latency.
+
+* **Semi-sequential access.**  Chaining adjacent-block hops (with any fixed
+  step *j*) yields the second-most-efficient access pattern after pure
+  sequential: one block per settle time.
+
+The angular adjacency offset *A* is the rotation consumed between issuing
+the next command after a one-block read and the head being ready on the
+destination track: one sector of transfer, the per-command processing
+overhead, and the settle — rounded up to a sector (the conservatism real
+extraction tools apply).  With this package's uniform track skew *w* (which
+covers only the settle, since firmware pays no command overhead at track
+crossings inside a streaming run), the *j*-th adjacent block of a block at
+sector ``s`` lives at sector ``(s + A - j*w) mod spt`` on track ``t + j``.
+When the drive has zero command overhead ``A == w`` and the first adjacent
+block of LBN ``b`` is exactly ``b + spt`` — the layout drawn in the
+paper's Figures 2-4.
+
+The class below is what the logical volume manager exposes to applications
+(the paper's ``get_adjacent`` / ``get_track_boundaries`` interface); it
+never reveals raw geometry to the mapping layer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.mechanics import DiskMechanics
+from repro.disk.models import DiskModel
+from repro.errors import AdjacencyError
+
+__all__ = ["AdjacencyModel"]
+
+
+class AdjacencyModel:
+    """Adjacent-block arithmetic for one disk.
+
+    Parameters
+    ----------
+    geometry, mechanics:
+        The disk being modelled.
+    depth:
+        Override for *D*, the number of adjacent blocks.  Defaults to
+        ``surfaces * settle_cylinders`` (= R·C).  The paper's prototype
+        uses D = 128 for both of its disks.
+    """
+
+    def __init__(
+        self,
+        geometry: DiskGeometry,
+        mechanics: DiskMechanics,
+        depth: int | None = None,
+    ):
+        self.geometry = geometry
+        self.mechanics = mechanics
+        max_depth = geometry.surfaces * mechanics.settle_cylinders
+        if depth is None:
+            depth = max_depth
+        if not 1 <= depth <= max_depth:
+            raise AdjacencyError(
+                f"depth {depth} outside [1, {max_depth}] supported by the"
+                " settle region"
+            )
+        self.D = int(depth)
+        # Per-zone angular adjacency offset, in sectors: one block of
+        # transfer + command overhead + settle, rounded up.  This is >= the
+        # track skew (which covers only the settle), so semi-sequential
+        # hops never miss their target even with command processing costs.
+        rot = mechanics.rotation_ms
+        self._offset = []
+        for zone in geometry.zones:
+            spt = zone.sectors_per_track
+            if zone.skew_sectors == 0 and mechanics.settle_ms < rot / spt / 100:
+                # idealised zero-skew disk (the paper's toy figures)
+                self._offset.append(0)
+            else:
+                need = 1 + math.ceil(
+                    spt
+                    * (mechanics.settle_ms + mechanics.command_overhead_ms)
+                    / rot
+                )
+                self._offset.append(max(need, zone.skew_sectors) % spt)
+
+    @classmethod
+    def for_model(cls, model: DiskModel, depth: int | None = None):
+        return cls(model.geometry, model.mechanics, depth)
+
+    # ------------------------------------------------------------------
+    # interface functions exported to applications (paper §3.2)
+    # ------------------------------------------------------------------
+
+    def get_adjacent(self, lbn: int, step: int = 1) -> int:
+        """The ``step``-th adjacent block of ``lbn`` (paper's GETADJACENT).
+
+        Raises :class:`AdjacencyError` if ``step`` exceeds *D* or the target
+        track falls outside the zone of ``lbn`` (adjacency is intra-zone:
+        MultiMap never maps a basic cube across a zone boundary).
+        """
+        if not 1 <= step <= self.D:
+            raise AdjacencyError(f"step {step} outside [1, {self.D}]")
+        geom = self.geometry
+        zi = geom.zone_index_of_lbn(lbn)
+        zone = geom.zone(zi)
+        first_lbn = geom.zone_first_lbn(zi)
+        spt = zone.sectors_per_track
+        tz, s = divmod(lbn - first_lbn, spt)
+        target_tz = tz + step
+        if target_tz >= geom.zone_tracks(zi):
+            raise AdjacencyError(
+                f"adjacent track of LBN {lbn} at step {step} crosses the"
+                f" boundary of zone {zi}"
+            )
+        target_s = (s + self._offset[zi] - step * zone.skew_sectors) % spt
+        return first_lbn + target_tz * spt + target_s
+
+    def get_track_boundaries(self, lbn: int) -> tuple[int, int]:
+        """Half-open LBN interval of the track holding ``lbn``."""
+        return self.geometry.track_boundaries(lbn)
+
+    # ------------------------------------------------------------------
+    # vectorised and convenience forms
+    # ------------------------------------------------------------------
+
+    def get_adjacent_array(self, lbns, step: int = 1) -> np.ndarray:
+        """Vectorised :meth:`get_adjacent` (same step for all inputs)."""
+        if not 1 <= step <= self.D:
+            raise AdjacencyError(f"step {step} outside [1, {self.D}]")
+        geom = self.geometry
+        lbns = np.asarray(lbns, dtype=np.int64)
+        zi, track, sector, spt, _ = geom.decompose(lbns)
+        skew = np.array(
+            [z.skew_sectors for z in geom.zones], dtype=np.int64
+        )[zi]
+        offset = np.asarray(self._offset, dtype=np.int64)[zi]
+        zone_first_track = np.array(
+            [geom.zone_first_track(i) for i in range(len(geom.zones))],
+            dtype=np.int64,
+        )[zi]
+        zone_tracks = np.array(
+            [geom.zone_tracks(i) for i in range(len(geom.zones))],
+            dtype=np.int64,
+        )[zi]
+        tz = track - zone_first_track
+        if bool((tz + step >= zone_tracks).any()):
+            raise AdjacencyError("adjacency step crosses a zone boundary")
+        target_s = (sector + offset - step * skew) % spt
+        return geom.lbns_from(track + step, target_s)
+
+    def semi_sequential_path(
+        self, lbn: int, count: int, step: int = 1
+    ) -> np.ndarray:
+        """``count`` LBNs starting at ``lbn``, each the ``step``-th adjacent
+        block of the previous one — a semi-sequential path (Figure 1(b))."""
+        path = np.empty(count, dtype=np.int64)
+        cur = int(lbn)
+        path[0] = cur
+        for i in range(1, count):
+            cur = self.get_adjacent(cur, step)
+            path[i] = cur
+        return path
+
+    def adjacency_offset_sectors(self, zone_index: int) -> int:
+        """Angular offset (in sectors) between a block and each of its
+        adjacent blocks, for a given zone."""
+        return self._offset[zone_index]
+
+    def expected_hop_ms(self, zone_index: int) -> float:
+        """Predicted start-to-start cadence of semi-sequential access.
+
+        One adjacency offset's worth of rotation: transfer + command
+        overhead + settle + residual alignment.  This is the figure the
+        analytic model uses.
+        """
+        zone = self.geometry.zone(zone_index)
+        spt = zone.sectors_per_track
+        rot = self.mechanics.rotation_ms
+        offset = self._offset[zone_index]
+        if offset == 0:
+            return spt * (self.mechanics.settle_ms / rot) * rot / spt
+        return offset * rot / spt
+
+    def max_dimensions(self) -> int:
+        """Equation 5: N_max = 2 + log2(D) (K_i >= 2 for inner dims)."""
+        return 2 + int(np.log2(self.D))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AdjacencyModel(D={self.D})"

@@ -1,0 +1,322 @@
+"""Disk layout model: zones, tracks, sectors, skew and angular positions.
+
+The geometry answers "where is LBN x?" — both logically (zone, cylinder,
+head, sector) and physically (the angular position of the sector on the
+platter, which is what rotational latency depends on).
+
+Key modelling choices
+---------------------
+* **Zoned recording.**  Each zone is a contiguous cylinder range with a
+  fixed number of sectors per track.  Outer zones hold more sectors.  LBNs
+  are assigned in the conventional order: within a cylinder, head by head;
+  cylinder by cylinder; zone by zone.
+* **Uniform track skew.**  Consecutive tracks are rotationally offset by
+  ``skew_sectors`` so that a sequential stream loses only the settle time at
+  each track boundary.  We use the *same* skew for head switches and
+  cylinder switches, reflecting the paper's premise that settle time
+  dominates both.  The skew is chosen as ``ceil(spt * settle / rotation) + 1``
+  which also makes it the *adjacency offset*: the first adjacent block of
+  any LBN ``b`` is exactly ``b + spt`` (same sector index, next track) —
+  precisely the layout drawn in the paper's Figures 2-4.
+* **Angles as fractions.**  Angular positions are expressed as fractions of
+  a revolution so they compose across zones with different track lengths.
+
+All heavy accessors come in scalar *and* vectorised (numpy) flavours; the
+vectorised ones are what the batch simulator and the mapping closed forms
+use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = ["Zone", "DiskGeometry"]
+
+SECTOR_BYTES = 512
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A recording zone: contiguous cylinders with equal track length."""
+
+    index: int
+    first_cylinder: int
+    cylinders: int
+    sectors_per_track: int
+    skew_sectors: int
+
+    def __post_init__(self) -> None:
+        if self.cylinders <= 0:
+            raise GeometryError("zone must contain at least one cylinder")
+        if self.sectors_per_track <= 0:
+            raise GeometryError("sectors_per_track must be positive")
+        if not 0 <= self.skew_sectors < self.sectors_per_track:
+            raise GeometryError(
+                "skew_sectors must lie in [0, sectors_per_track)"
+            )
+
+    @property
+    def last_cylinder(self) -> int:
+        return self.first_cylinder + self.cylinders - 1
+
+
+class DiskGeometry:
+    """Immutable description of a drive's data layout.
+
+    Parameters
+    ----------
+    zones:
+        Zones in increasing cylinder order; must tile the cylinder range
+        contiguously starting at cylinder 0.
+    surfaces:
+        Number of recording surfaces (= tracks per cylinder, the paper's
+        *R*).
+    """
+
+    def __init__(self, zones: Sequence[Zone], surfaces: int):
+        if surfaces < 1:
+            raise GeometryError("surfaces must be >= 1")
+        if not zones:
+            raise GeometryError("at least one zone is required")
+        zones = tuple(zones)
+        expected_cyl = 0
+        for i, zone in enumerate(zones):
+            if zone.index != i:
+                raise GeometryError(f"zone {i} has index {zone.index}")
+            if zone.first_cylinder != expected_cyl:
+                raise GeometryError(
+                    f"zone {i} does not start at cylinder {expected_cyl}"
+                )
+            expected_cyl += zone.cylinders
+
+        self.zones = zones
+        self.surfaces = surfaces
+
+        n = len(zones)
+        self._spt = np.array([z.sectors_per_track for z in zones], dtype=np.int64)
+        self._skew = np.array([z.skew_sectors for z in zones], dtype=np.int64)
+        zone_tracks = np.array(
+            [z.cylinders * surfaces for z in zones], dtype=np.int64
+        )
+        zone_lbns = zone_tracks * self._spt
+
+        self._zone_first_track = np.zeros(n, dtype=np.int64)
+        self._zone_first_track[1:] = np.cumsum(zone_tracks)[:-1]
+        self._zone_first_lbn = np.zeros(n, dtype=np.int64)
+        self._zone_first_lbn[1:] = np.cumsum(zone_lbns)[:-1]
+        self._zone_first_cyl = np.array(
+            [z.first_cylinder for z in zones], dtype=np.int64
+        )
+
+        self.n_tracks = int(zone_tracks.sum())
+        self.n_lbns = int(zone_lbns.sum())
+        self.n_cylinders = int(expected_cyl)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.n_lbns * SECTOR_BYTES
+
+    @property
+    def max_sectors_per_track(self) -> int:
+        return int(self._spt.max())
+
+    @property
+    def min_sectors_per_track(self) -> int:
+        return int(self._spt.min())
+
+    def zone(self, index: int) -> Zone:
+        return self.zones[index]
+
+    def zone_tracks(self, index: int) -> int:
+        """Number of tracks in a zone (Equation 2's denominator input)."""
+        return self.zones[index].cylinders * self.surfaces
+
+    def zone_first_lbn(self, index: int) -> int:
+        return int(self._zone_first_lbn[index])
+
+    def zone_first_track(self, index: int) -> int:
+        return int(self._zone_first_track[index])
+
+    def zone_lbn_span(self, index: int) -> tuple[int, int]:
+        """Half-open LBN interval ``[lo, hi)`` covered by a zone."""
+        lo = int(self._zone_first_lbn[index])
+        if index + 1 < len(self.zones):
+            hi = int(self._zone_first_lbn[index + 1])
+        else:
+            hi = self.n_lbns
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # scalar accessors
+    # ------------------------------------------------------------------
+
+    def check_lbn(self, lbn: int) -> None:
+        if not 0 <= lbn < self.n_lbns:
+            raise GeometryError(f"LBN {lbn} outside [0, {self.n_lbns})")
+
+    def zone_index_of_lbn(self, lbn: int) -> int:
+        self.check_lbn(lbn)
+        return int(
+            np.searchsorted(self._zone_first_lbn, lbn, side="right") - 1
+        )
+
+    def zone_index_of_track(self, track: int) -> int:
+        if not 0 <= track < self.n_tracks:
+            raise GeometryError(f"track {track} outside [0, {self.n_tracks})")
+        return int(
+            np.searchsorted(self._zone_first_track, track, side="right") - 1
+        )
+
+    def track_of(self, lbn: int) -> int:
+        """Global track index of an LBN (tracks numbered across the disk)."""
+        zi = self.zone_index_of_lbn(lbn)
+        rel = lbn - int(self._zone_first_lbn[zi])
+        return int(self._zone_first_track[zi]) + rel // int(self._spt[zi])
+
+    def sector_of(self, lbn: int) -> int:
+        zi = self.zone_index_of_lbn(lbn)
+        rel = lbn - int(self._zone_first_lbn[zi])
+        return rel % int(self._spt[zi])
+
+    def cylinder_of_track(self, track: int) -> int:
+        return track // self.surfaces
+
+    def head_of_track(self, track: int) -> int:
+        return track % self.surfaces
+
+    def cylinder_of(self, lbn: int) -> int:
+        return self.cylinder_of_track(self.track_of(lbn))
+
+    def chs(self, lbn: int) -> tuple[int, int, int]:
+        """(cylinder, head, sector) of an LBN."""
+        track = self.track_of(lbn)
+        return (
+            self.cylinder_of_track(track),
+            self.head_of_track(track),
+            self.sector_of(lbn),
+        )
+
+    def track_length(self, track: int) -> int:
+        return int(self._spt[self.zone_index_of_track(track)])
+
+    def track_first_lbn(self, track: int) -> int:
+        zi = self.zone_index_of_track(track)
+        tz = track - int(self._zone_first_track[zi])
+        return int(self._zone_first_lbn[zi]) + tz * int(self._spt[zi])
+
+    def lbn(self, track: int, sector: int) -> int:
+        spt = self.track_length(track)
+        if not 0 <= sector < spt:
+            raise GeometryError(f"sector {sector} outside [0, {spt})")
+        return self.track_first_lbn(track) + sector
+
+    def track_boundaries(self, lbn: int) -> tuple[int, int]:
+        """Half-open LBN interval of the track containing ``lbn``.
+
+        This is the ``get_track_boundaries`` interface call the paper's LVM
+        exports to applications.
+        """
+        track = self.track_of(lbn)
+        lo = self.track_first_lbn(track)
+        return lo, lo + self.track_length(track)
+
+    def start_angle(self, lbn: int) -> float:
+        """Angular position of the start of an LBN, in revolutions [0, 1).
+
+        Sector ``s`` of in-zone track ``tz`` sits at angle
+        ``((s + skew * tz) mod spt) / spt`` — the skew staggers consecutive
+        tracks so that streaming across a boundary only pays the settle.
+        """
+        zi = self.zone_index_of_lbn(lbn)
+        rel = lbn - int(self._zone_first_lbn[zi])
+        spt = int(self._spt[zi])
+        tz, s = divmod(rel, spt)
+        return ((s + int(self._skew[zi]) * tz) % spt) / spt
+
+    # ------------------------------------------------------------------
+    # vectorised accessors
+    # ------------------------------------------------------------------
+
+    def decompose(self, lbns: np.ndarray):
+        """Vectorised decomposition of LBNs.
+
+        Returns
+        -------
+        (zone_idx, track, sector, spt, angle) — all ndarrays.  ``track`` is
+        the global track index, ``angle`` the start angle in revolutions.
+        """
+        lbns = np.asarray(lbns, dtype=np.int64)
+        if lbns.size and (lbns.min() < 0 or lbns.max() >= self.n_lbns):
+            raise GeometryError("LBN out of range in vectorised decompose")
+        zi = np.searchsorted(self._zone_first_lbn, lbns, side="right") - 1
+        rel = lbns - self._zone_first_lbn[zi]
+        spt = self._spt[zi]
+        tz = rel // spt
+        sector = rel - tz * spt
+        track = self._zone_first_track[zi] + tz
+        angle = ((sector + self._skew[zi] * tz) % spt) / spt
+        return zi, track, sector, spt, angle
+
+    def tracks_of(self, lbns: np.ndarray) -> np.ndarray:
+        return self.decompose(lbns)[1]
+
+    def cylinders_of(self, lbns: np.ndarray) -> np.ndarray:
+        return self.decompose(lbns)[1] // self.surfaces
+
+    def angles_of(self, lbns: np.ndarray) -> np.ndarray:
+        return self.decompose(lbns)[4]
+
+    def track_first_lbns(self, tracks: np.ndarray) -> np.ndarray:
+        tracks = np.asarray(tracks, dtype=np.int64)
+        zi = np.searchsorted(self._zone_first_track, tracks, side="right") - 1
+        tz = tracks - self._zone_first_track[zi]
+        return self._zone_first_lbn[zi] + tz * self._spt[zi]
+
+    def lbns_from(self, tracks: np.ndarray, sectors: np.ndarray) -> np.ndarray:
+        """Vectorised inverse of (track, sector) -> LBN."""
+        return self.track_first_lbns(tracks) + np.asarray(sectors, np.int64)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def build(
+        surfaces: int,
+        zone_specs: Iterable[tuple[int, int]],
+        skew_for_spt,
+    ) -> "DiskGeometry":
+        """Build a geometry from ``(cylinders, sectors_per_track)`` pairs.
+
+        ``skew_for_spt`` maps a track length to the per-track skew in
+        sectors (models derive it from settle time and rotation speed).
+        """
+        zones = []
+        cyl = 0
+        for i, (cylinders, spt) in enumerate(zone_specs):
+            zones.append(
+                Zone(
+                    index=i,
+                    first_cylinder=cyl,
+                    cylinders=cylinders,
+                    sectors_per_track=spt,
+                    skew_sectors=int(skew_for_spt(spt)) % spt,
+                )
+            )
+            cyl += cylinders
+        return DiskGeometry(zones, surfaces)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiskGeometry(zones={len(self.zones)}, surfaces={self.surfaces},"
+            f" tracks={self.n_tracks}, lbns={self.n_lbns})"
+        )

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the MultiMap reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid disk geometry parameters or out-of-range LBNs."""
+
+
+class AdjacencyError(ReproError):
+    """Raised when an adjacent block cannot be produced.
+
+    Typical causes: the requested adjacency step exceeds ``D``, or the target
+    track would fall outside the zone of the starting block (MultiMap never
+    maps basic cubes across zone boundaries, so adjacency is intra-zone).
+    """
+
+
+class MappingError(ReproError):
+    """Raised when a dataset cannot be mapped (constraint violations)."""
+
+
+class AllocationError(ReproError):
+    """Raised when a logical volume cannot satisfy an allocation request."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed queries (out-of-bounds ranges, bad axes)."""
+
+
+class DatasetError(ReproError):
+    """Raised by dataset generators for invalid parameters."""

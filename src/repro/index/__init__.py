@@ -1,0 +1,5 @@
+"""Index structures used by the evaluation datasets."""
+
+from repro.index.octree import Octree, OctreeLeaf
+
+__all__ = ["Octree", "OctreeLeaf"]

@@ -1,0 +1,13 @@
+"""Logical volume manager: extents, adjacency passthrough, declustering."""
+
+from repro.lvm.striping import assign_chunks, disk_modulo, round_robin
+from repro.lvm.volume import Extent, LogicalVolume, ZoneInfo
+
+__all__ = [
+    "Extent",
+    "LogicalVolume",
+    "ZoneInfo",
+    "assign_chunks",
+    "disk_modulo",
+    "round_robin",
+]

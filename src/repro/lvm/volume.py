@@ -1,0 +1,222 @@
+"""Logical volume manager.
+
+Mirrors the prototype of the paper (§5.1): it owns a set of disks, exports
+the two adjacency interface calls (``get_adjacent``/``get_track_boundaries``)
+plus abstract zone descriptions, and hands out *extents* — contiguous LBN
+ranges on a single disk — to the mapping layer.  Applications never see raw
+geometry; everything they need arrives through this class, so a different
+disk (or a characterised profile of one) can be swapped in underneath.
+
+Allocation is track-aligned and zone-aware because MultiMap never maps a
+basic cube across a zone boundary; linearised mappings just take the same
+extents and fill them sequentially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disk.adjacency import AdjacencyModel
+from repro.disk.drive import DiskDrive
+from repro.disk.models import DiskModel
+from repro.errors import AllocationError
+
+__all__ = ["Extent", "ZoneInfo", "LogicalVolume"]
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous LBN range on one disk of the volume."""
+
+    disk: int
+    start: int
+    nblocks: int
+
+    @property
+    def end(self) -> int:
+        """One past the last LBN."""
+        return self.start + self.nblocks
+
+    def __post_init__(self) -> None:
+        if self.nblocks <= 0:
+            raise AllocationError("extent must contain at least one block")
+        if self.start < 0:
+            raise AllocationError("extent start must be non-negative")
+
+
+@dataclass(frozen=True)
+class ZoneInfo:
+    """Disk-generic zone description exposed to the mapping layer.
+
+    ``track_length`` is the paper's *T* (via GETTRACKLENGTH), ``tracks`` the
+    zone's track count (Equation 2 input), ``hop_ms`` the expected cost of
+    one semi-sequential hop.
+    """
+
+    index: int
+    track_length: int
+    tracks: int
+    first_track: int
+    first_lbn: int
+    hop_ms: float
+
+
+class LogicalVolume:
+    """A logical volume over one or more simulated disks.
+
+    Parameters
+    ----------
+    models:
+        One :class:`DiskModel` per member disk.
+    depth:
+        Optional override of the adjacency depth *D* (the paper's prototype
+        pins D = 128 on both disks).
+    """
+
+    def __init__(self, models: list[DiskModel], depth: int | None = None):
+        if not models:
+            raise AllocationError("a volume needs at least one disk")
+        self.models = list(models)
+        self.drives = [DiskDrive(m) for m in models]
+        self.adjacency = [
+            AdjacencyModel.for_model(m, depth=depth) for m in models
+        ]
+        # Track-aligned allocation cursor per disk (global track index).
+        self._next_track = [0 for _ in models]
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    @property
+    def n_disks(self) -> int:
+        return len(self.models)
+
+    def drive(self, disk: int) -> DiskDrive:
+        return self.drives[disk]
+
+    def depth(self, disk: int = 0) -> int:
+        """Adjacency depth D of a member disk."""
+        return self.adjacency[disk].D
+
+    def zone_info(self, disk: int, zone_index: int) -> ZoneInfo:
+        geom = self.models[disk].geometry
+        zone = geom.zone(zone_index)
+        return ZoneInfo(
+            index=zone_index,
+            track_length=zone.sectors_per_track,
+            tracks=geom.zone_tracks(zone_index),
+            first_track=geom.zone_first_track(zone_index),
+            first_lbn=geom.zone_first_lbn(zone_index),
+            hop_ms=self.adjacency[disk].expected_hop_ms(zone_index),
+        )
+
+    def zones(self, disk: int) -> list[ZoneInfo]:
+        geom = self.models[disk].geometry
+        return [self.zone_info(disk, i) for i in range(len(geom.zones))]
+
+    # ------------------------------------------------------------------
+    # the paper's interface functions
+    # ------------------------------------------------------------------
+
+    def get_adjacent(self, disk: int, lbn: int, step: int = 1) -> int:
+        return self.adjacency[disk].get_adjacent(lbn, step)
+
+    def get_track_boundaries(self, disk: int, lbn: int) -> tuple[int, int]:
+        return self.adjacency[disk].get_track_boundaries(lbn)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def allocate_tracks(
+        self, disk: int, n_tracks: int, zone_index: int | None = None
+    ) -> Extent:
+        """Allocate ``n_tracks`` whole contiguous tracks within one zone.
+
+        If ``zone_index`` is None, allocation continues from the cursor,
+        skipping to the next zone when the current one cannot hold the
+        request (cubes never straddle zone boundaries).
+        """
+        geom = self.models[disk].geometry
+        if n_tracks <= 0:
+            raise AllocationError("n_tracks must be positive")
+        cursor = self._next_track[disk]
+        zone_count = len(geom.zones)
+
+        if zone_index is not None:
+            zi = zone_index
+            first = geom.zone_first_track(zi)
+            tracks = geom.zone_tracks(zi)
+            start_track = max(cursor, first)
+            if start_track + n_tracks > first + tracks:
+                raise AllocationError(
+                    f"zone {zi} cannot hold {n_tracks} tracks"
+                )
+        else:
+            start_track = cursor
+            while True:
+                if start_track >= geom.n_tracks:
+                    raise AllocationError("volume exhausted")
+                zi = geom.zone_index_of_track(start_track)
+                zone_end = geom.zone_first_track(zi) + geom.zone_tracks(zi)
+                if start_track + n_tracks <= zone_end:
+                    break
+                start_track = zone_end  # skip zone remainder
+
+        if n_tracks > geom.zone_tracks(zi):
+            raise AllocationError(
+                f"no zone can hold {n_tracks} contiguous tracks"
+            )
+        self._next_track[disk] = start_track + n_tracks
+        start_lbn = geom.track_first_lbn(start_track)
+        spt = geom.track_length(start_track)
+        return Extent(disk, start_lbn, n_tracks * spt)
+
+    def allocate_blocks(self, disk: int, n_blocks: int) -> Extent:
+        """Allocate a plain LBN extent (track-aligned start) for the
+        linearised mappings."""
+        geom = self.models[disk].geometry
+        if n_blocks <= 0:
+            raise AllocationError("n_blocks must be positive")
+        start_track = self._next_track[disk]
+        if start_track >= geom.n_tracks:
+            raise AllocationError("volume exhausted")
+        start_lbn = geom.track_first_lbn(start_track)
+        if start_lbn + n_blocks > geom.n_lbns:
+            raise AllocationError("volume exhausted")
+        end_track = geom.track_of(
+            min(start_lbn + n_blocks, geom.n_lbns - 1)
+        )
+        self._next_track[disk] = end_track + 1
+        return Extent(disk, start_lbn, n_blocks)
+
+    def free_tracks_in_zone(self, disk: int, zone_index: int) -> int:
+        """Tracks still unallocated in a zone, given the cursor position."""
+        geom = self.models[disk].geometry
+        first = geom.zone_first_track(zone_index)
+        end = first + geom.zone_tracks(zone_index)
+        cursor = self._next_track[disk]
+        if cursor >= end:
+            return 0
+        return end - max(cursor, first)
+
+    def allocation_cursor(self, disk: int) -> int:
+        """Current track-allocation cursor (for snapshot/rollback)."""
+        return self._next_track[disk]
+
+    def restore_allocation(self, disk: int, cursor: int) -> None:
+        """Roll the allocator back to a previously saved cursor."""
+        if not 0 <= cursor <= self.models[disk].geometry.n_tracks:
+            raise AllocationError(f"invalid cursor {cursor}")
+        self._next_track[disk] = cursor
+
+    def reset_allocation(self, disk: int | None = None) -> None:
+        if disk is None:
+            self._next_track = [0 for _ in self.models]
+        else:
+            self._next_track[disk] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(m.name for m in self.models)
+        return f"LogicalVolume([{names}])"

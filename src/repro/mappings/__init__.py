@@ -1,0 +1,21 @@
+"""Baseline data-placement algorithms the paper compares MultiMap against."""
+
+from repro.mappings.base import Mapper, RequestPlan, coalesce_ranks, enumerate_box
+from repro.mappings.gray import GrayMapper
+from repro.mappings.hilbert import HilbertMapper
+from repro.mappings.linear import CurveMapper, LinearMapper
+from repro.mappings.naive import NaiveMapper
+from repro.mappings.zorder import ZOrderMapper
+
+__all__ = [
+    "CurveMapper",
+    "GrayMapper",
+    "HilbertMapper",
+    "LinearMapper",
+    "Mapper",
+    "NaiveMapper",
+    "RequestPlan",
+    "ZOrderMapper",
+    "coalesce_ranks",
+    "enumerate_box",
+]

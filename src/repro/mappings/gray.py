@@ -1,0 +1,24 @@
+"""Gray-coded curve mapping (Faloutsos 1986).
+
+The paper lists the Gray-coded curve with Z-order and Hilbert among the
+linearising approaches of prior work; it is included here as an extra
+baseline (its clustering sits between Z-order and Hilbert).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mappings import curves
+from repro.mappings.linear import CurveMapper
+
+__all__ = ["GrayMapper"]
+
+
+class GrayMapper(CurveMapper):
+    """Cells ordered along the binary-reflected Gray-code curve."""
+
+    name = "gray"
+
+    def encode(self, coords: np.ndarray) -> np.ndarray:
+        return curves.gray_rank(coords, self.bits)

@@ -1,0 +1,94 @@
+"""Shared machinery for the linearised (1-D order) mappings.
+
+Naive, Z-order, Hilbert and Gray all impose a *total order* on the cells
+and store them at consecutive LBNs in that order (rank-compaction: the
+paper packs curve-ordered points sequentially with fill factor 1, §5.2).
+The only difference between them is the rank function.
+
+For the curve mappings on non-power-of-two grids the rank of a cell is its
+position among the *occupied* cells in curve order; that is computed by
+building the sorted table of all cell codes once (cached) and using binary
+search — fully vectorised, since benchmarks push millions of cells through
+this path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mappings import curves
+from repro.mappings.base import (
+    Mapper,
+    RequestPlan,
+    coalesce_ranks,
+    enumerate_box,
+)
+
+__all__ = ["LinearMapper", "CurveMapper"]
+
+
+class LinearMapper(Mapper):
+    """A mapping defined by a total order (rank) over cells."""
+
+    def rank(self, coords: np.ndarray) -> np.ndarray:
+        """Position of each cell in the on-disk order.  Subclasses provide."""
+        raise NotImplementedError
+
+    def lbns(self, coords) -> np.ndarray:
+        arr = self._check_coords(coords)
+        return self.extent.start + self.rank(arr) * self.cell_blocks
+
+    def range_plan(self, lo, hi) -> RequestPlan:
+        lo, hi = self._check_box(lo, hi)
+        coords = enumerate_box(lo, hi)
+        ranks = np.sort(self.rank(coords))
+        starts, lengths = coalesce_ranks(ranks)
+        return RequestPlan(
+            self.extent.start + starts * self.cell_blocks,
+            lengths * self.cell_blocks,
+            policy="sorted",
+        )
+
+
+class CurveMapper(LinearMapper):
+    """Rank = position along a space-filling curve, rank-compacted."""
+
+    def __init__(self, dims, extent, cell_blocks: int = 1):
+        super().__init__(dims, extent, cell_blocks)
+        self.bits = curves.bits_for(self.dims)
+        self._code_table: np.ndarray | None = None
+
+    def encode(self, coords: np.ndarray) -> np.ndarray:
+        """Curve code of each coordinate row.  Subclasses provide."""
+        raise NotImplementedError
+
+    def code_table(self) -> np.ndarray:
+        """Sorted codes of every cell in the grid (built lazily, cached).
+
+        Building enumerates the whole grid in slabs along the last axis to
+        bound peak memory; the result is one int64 per cell.
+        """
+        if self._code_table is None:
+            dims = self.dims
+            n = self.n_cells
+            table = np.empty(n, dtype=np.int64)
+            last = dims[-1]
+            per_slab = n // last
+            lo = [0] * len(dims)
+            hi = list(dims)
+            for s in range(last):
+                lo[-1], hi[-1] = s, s + 1
+                coords = enumerate_box(lo, hi)
+                table[s * per_slab:(s + 1) * per_slab] = self.encode(coords)
+            table.sort()
+            self._code_table = table
+        return self._code_table
+
+    def rank(self, coords: np.ndarray) -> np.ndarray:
+        codes = self.encode(coords)
+        table = self.code_table()
+        return np.searchsorted(table, codes)
+
+    def drop_cache(self) -> None:
+        """Free the cached code table (benchmark hygiene)."""
+        self._code_table = None

@@ -1,0 +1,19 @@
+"""Z-order (Morton) mapping — the first space-filling-curve baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mappings import curves
+from repro.mappings.linear import CurveMapper
+
+__all__ = ["ZOrderMapper"]
+
+
+class ZOrderMapper(CurveMapper):
+    """Cells ordered by Morton code, rank-compacted to consecutive LBNs."""
+
+    name = "zorder"
+
+    def encode(self, coords: np.ndarray) -> np.ndarray:
+        return curves.morton_encode(coords, self.bits)

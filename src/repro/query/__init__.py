@@ -1,0 +1,24 @@
+"""Query workloads and the storage manager that executes them."""
+
+from repro.query.executor import QueryResult, StorageManager
+from repro.query.scheduler import coalesce_lbns, effective_policy, merge_plan_runs
+from repro.query.workload import (
+    BeamQuery,
+    RangeQuery,
+    random_beam,
+    random_range_cube,
+    range_for_selectivity,
+)
+
+__all__ = [
+    "BeamQuery",
+    "QueryResult",
+    "RangeQuery",
+    "StorageManager",
+    "coalesce_lbns",
+    "effective_policy",
+    "merge_plan_runs",
+    "random_beam",
+    "random_range_cube",
+    "range_for_selectivity",
+]

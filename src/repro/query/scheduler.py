@@ -1,0 +1,64 @@
+"""Request-batch preparation between the mapper and the drive.
+
+The storage manager of the paper sorts the LBNs of linearised mappings in
+ascending order before issuing them ("an easy optimization ... that
+significantly improves performance in practice", §5.2) and issues
+semi-sequential batches all at once for the drive's internal scheduler to
+order.  This module holds those batch transforms plus the policy clamp
+that keeps windowed SPTF off absurdly large batches (positioning is
+irrelevant once a batch is thousands of near-sequential runs, and the
+O(n·window) scheduler would dominate simulation time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mappings.base import RequestPlan, coalesce_ranks
+
+__all__ = ["coalesce_lbns", "merge_plan_runs", "effective_policy"]
+
+#: beyond this many runs, SPTF batches degrade to an elevator pass
+SPTF_RUN_LIMIT = 20_000
+
+
+def coalesce_lbns(lbns: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort distinct block addresses and merge consecutive ones into runs."""
+    lbns = np.unique(np.asarray(lbns, dtype=np.int64))
+    return coalesce_ranks(lbns)
+
+
+def merge_plan_runs(plan: RequestPlan, max_gap: int = 0) -> RequestPlan:
+    """Merge nearby runs of a sorted plan into larger reads.
+
+    ``max_gap`` is the largest hole (in blocks) worth reading through and
+    discarding: re-positioning across a small gap costs at least the
+    per-command overhead and risks a full missed revolution, while
+    streaming through it costs only the gap's transfer time.  Real storage
+    managers (and drive firmware read-ahead) do exactly this coalescing for
+    skip-sequential patterns.  ``max_gap=0`` merges only touching runs.
+    """
+    if plan.n_runs <= 1:
+        return plan
+    order = np.argsort(plan.starts, kind="stable")
+    starts = plan.starts[order]
+    lengths = plan.lengths[order]
+    # Runs may overlap after mapping (never in practice, but be safe):
+    # extend each end monotonically before measuring gaps.
+    ends = np.maximum.accumulate(starts + lengths)
+    breaks = np.flatnonzero(starts[1:] > ends[:-1] + max_gap)
+    first = np.concatenate(([0], breaks + 1))
+    last = np.concatenate((breaks, [starts.size - 1]))
+    return RequestPlan(
+        starts[first],
+        ends[last] - starts[first],
+        policy=plan.policy,
+        merge_gap=plan.merge_gap,
+    )
+
+
+def effective_policy(plan: RequestPlan, limit: int = SPTF_RUN_LIMIT) -> str:
+    """Clamp 'sptf' to 'sorted' for very large batches."""
+    if plan.policy == "sptf" and plan.n_runs > limit:
+        return "sorted"
+    return plan.policy

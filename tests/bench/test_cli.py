@@ -1,0 +1,46 @@
+"""Tests for the benchmark CLI and harness plumbing."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.harness import run_all
+
+
+class TestCli:
+    def test_single_quick_figure(self, capsys):
+        rc = main(["--scale", "small", "--figure", "fig1a", "--quiet"])
+        assert rc == 0
+
+    def test_output_directory(self, tmp_path, capsys):
+        rc = main([
+            "--scale", "small", "--figure", "fig1b",
+            "--out", str(tmp_path), "--quiet",
+        ])
+        assert rc == 0
+        payload = json.loads((tmp_path / "fig1b.json").read_text())
+        assert payload["scale"] == "small"
+        assert "data" in payload
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "nope"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "huge"])
+
+    def test_table_output_printed(self, capsys):
+        main(["--scale", "small", "--figure", "fig1a"])
+        out = capsys.readouterr().out
+        assert "fig1a" in out
+
+
+class TestRunAll:
+    def test_only_filter(self, capsys, tmp_path):
+        results = run_all(
+            "small", out_dir=tmp_path, only=("fig1a",), quiet=True
+        )
+        assert set(results) == {"fig1a"}
+        assert (tmp_path / "fig1a.json").exists()

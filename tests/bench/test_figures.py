@@ -1,0 +1,182 @@
+"""Smoke + shape tests for the figure regenerators (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import figures
+from repro.bench.figures import Scale
+from repro.bench.harness import run_figure
+from repro.bench.reporting import render_fig6a, render_fig6b, render_fig8, render_table
+
+TINY = Scale(
+    name="tiny",
+    chunk_dims=(216, 24, 24),
+    selectivities=(1.0, 100.0),
+    beam_runs=1,
+    range_runs=1,
+    quake_depth=5,
+    quake_selectivities=(1.0,),
+    olap_chunk=(148, 10, 25, 25),
+    olap_runs=1,
+)
+
+
+class TestScales:
+    def test_get_scale(self):
+        assert figures.get_scale("paper").name == "paper"
+        assert figures.get_scale("small").name == "small"
+        with pytest.raises(ValueError):
+            figures.get_scale("bogus")
+
+    def test_paper_scale_matches_evaluation(self):
+        assert figures.PAPER_SCALE.chunk_dims == (259, 259, 259)
+        assert figures.PAPER_SCALE.olap_chunk == (591, 75, 25, 25)
+        assert 0.01 in figures.PAPER_SCALE.selectivities
+        assert 100.0 in figures.PAPER_SCALE.selectivities
+
+
+class TestFig1:
+    def test_seek_profile_structure(self):
+        data = figures.fig1a_seek_profile(samples=1)
+        assert len(data) == 2
+        for payload in data.values():
+            # flat settle region out to C, then growth (Figure 1(a))
+            d = payload["distance"]
+            t = payload["seek_ms"]
+            c = payload["settle_cylinders"]
+            inside = [tt for dd, tt in zip(d, t) if dd <= c]
+            outside = [tt for dd, tt in zip(d, t) if dd > c]
+            assert max(inside) == pytest.approx(payload["settle_ms"], rel=0.02)
+            assert min(outside) > max(inside)
+
+    def test_semi_sequential_dominance(self):
+        data = figures.fig1b_semi_sequential(n=100)
+        for payload in data.values():
+            assert (
+                payload["sequential_ms"]
+                < payload["semi_sequential_ms"]
+                < payload["nearby_within_D_ms"]
+                < payload["random_ms"]
+            )
+            # §3.2's "factor of four" claim, loosely
+            assert payload["nearby_over_semi"] > 2.0
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def beams(self):
+        return figures.fig6a_beam(TINY)
+
+    @pytest.fixture(scope="class")
+    def ranges(self):
+        return figures.fig6b_range(TINY)
+
+    def test_beam_structure(self, beams):
+        assert len(beams) == 2
+        for per_mapper in beams.values():
+            assert set(per_mapper) == {
+                "naive", "zorder", "hilbert", "multimap"
+            }
+
+    def test_naive_and_multimap_stream_dim0(self, beams):
+        for per_mapper in beams.values():
+            assert per_mapper["naive"]["dim0"] < 0.5
+            assert per_mapper["multimap"]["dim0"] < 0.5
+            # curves are orders of magnitude slower on the primary dim
+            assert per_mapper["zorder"]["dim0"] > 5 * per_mapper["naive"]["dim0"]
+
+    def test_multimap_wins_nonprimary_beams(self, beams):
+        for per_mapper in beams.values():
+            for dim in ("dim1", "dim2"):
+                assert (
+                    per_mapper["multimap"][dim] < per_mapper["naive"][dim]
+                )
+
+    def test_range_structure(self, ranges):
+        for payload in ranges.values():
+            assert set(payload["speedup_vs_naive"]) == {
+                "naive", "zorder", "hilbert", "multimap"
+            }
+
+    def test_all_converge_at_full_scan(self, ranges):
+        for payload in ranges.values():
+            sp = payload["speedup_vs_naive"]
+            assert sp["zorder"][100.0] == pytest.approx(1.0, abs=0.15)
+            assert sp["hilbert"][100.0] == pytest.approx(1.0, abs=0.15)
+            assert sp["multimap"][100.0] == pytest.approx(1.0, abs=0.25)
+
+    def test_render_helpers(self, beams, ranges):
+        assert "beam queries" in render_fig6a(beams)
+        assert "speedup" in render_fig6b(ranges)
+
+
+class TestFig7:
+    def test_structure_and_ordering(self):
+        data = figures.fig7a_beam(TINY, seed=3)
+        disks = [k for k in data if isinstance(data[k], dict)
+                 and "naive" in data[k]]
+        assert len(disks) == 2
+        for d in disks:
+            per = data[d]
+            # multimap wins the non-major axes (X-major naive streams X,
+            # where multimap may pay region-boundary jumps at tiny scale)
+            for axis in "YZ":
+                assert per["multimap"][axis] <= per["naive"][axis] * 1.1
+
+    def test_range_totals_positive(self):
+        data = figures.fig7b_range(TINY, seed=3)
+        disks = [k for k in data if isinstance(data[k], dict)
+                 and "naive" in data[k]]
+        for d in disks:
+            for series in data[d].values():
+                assert all(v > 0 for v in series.values())
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return figures.fig8_olap(TINY)
+
+    def test_structure(self, data):
+        for per_mapper in data.values():
+            for series in per_mapper.values():
+                assert set(series) == {"Q1", "Q2", "Q3", "Q4", "Q5"}
+
+    def test_q1_ordering(self, data):
+        """Q1 (major-order beam): Naive and MultiMap stream; curves pay
+        two orders of magnitude (§5.5)."""
+        for per_mapper in data.values():
+            assert per_mapper["naive"]["Q1"] < per_mapper["zorder"]["Q1"]
+            assert per_mapper["multimap"]["Q1"] < per_mapper["zorder"]["Q1"]
+
+    def test_q2_multimap_best_or_close(self, data):
+        for per_mapper in data.values():
+            best = min(v["Q2"] for v in per_mapper.values())
+            assert per_mapper["multimap"]["Q2"] <= best * 1.5
+
+    def test_render(self, data):
+        assert "OLAP queries" in render_fig8(data)
+
+
+class TestHarness:
+    def test_run_figure_dispatch(self):
+        data = run_figure("fig1a", "small")
+        assert len(data) == 2
+
+    def test_run_figure_unknown(self):
+        with pytest.raises(ValueError):
+            run_figure("fig99", "small")
+
+    def test_headline_summary(self):
+        beams = figures.fig6a_beam(TINY)
+        ranges = figures.fig6b_range(TINY)
+        summary = figures.headline_summary(beams, ranges)
+        for payload in summary.values():
+            assert payload["beam_speedup_vs_naive_nonprimary"] > 1.0
+            assert payload["dim0_streaming_advantage_vs_curves"] > 5.0
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [["x", 1], ["yy", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")

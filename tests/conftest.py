@@ -1,0 +1,73 @@
+"""Shared fixtures: small disks that keep unit tests fast."""
+
+import numpy as np
+import pytest
+
+from repro.disk import (
+    AdjacencyModel,
+    DiskDrive,
+    atlas_10k3,
+    cheetah_36es,
+    synthetic_disk,
+    toy_disk,
+)
+
+
+@pytest.fixture(scope="session")
+def atlas_model():
+    return atlas_10k3()
+
+
+@pytest.fixture(scope="session")
+def cheetah_model():
+    return cheetah_36es()
+
+
+@pytest.fixture()
+def atlas_drive(atlas_model):
+    return DiskDrive(atlas_model)
+
+
+@pytest.fixture()
+def cheetah_drive(cheetah_model):
+    return DiskDrive(cheetah_model)
+
+
+@pytest.fixture(scope="session")
+def small_model():
+    """A small two-zone disk: fast to simulate, non-trivial geometry."""
+    return synthetic_disk(
+        "small",
+        rpm=10_000,
+        settle_ms=1.0,
+        settle_cylinders=8,
+        surfaces=2,
+        zone_specs=[(200, 120), (200, 90)],
+        avg_seek_ms=3.0,
+        full_stroke_ms=6.0,
+    )
+
+
+@pytest.fixture()
+def small_drive(small_model):
+    return DiskDrive(small_model)
+
+
+@pytest.fixture()
+def small_adjacency(small_model):
+    return AdjacencyModel.for_model(small_model)
+
+
+@pytest.fixture(scope="session")
+def toy_model():
+    return toy_disk()
+
+
+@pytest.fixture()
+def toy_adjacency(toy_model):
+    return AdjacencyModel.for_model(toy_model, depth=9)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,146 @@
+"""Tests for basic cubes: the paper's Equations 1-3 and 5, Figure 5."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BasicCube, map_cell, max_dimensions
+from repro.disk import AdjacencyModel, toy_disk
+from repro.errors import MappingError
+
+
+def cube(K, T=5, tracks=40, D=9):
+    return BasicCube(tuple(K), T, tracks, D)
+
+
+class TestConstraints:
+    def test_paper_examples_validate(self):
+        cube((5, 3))           # Figure 2
+        cube((5, 3, 3))        # Figure 3
+        cube((5, 3, 3, 2))     # Figure 4
+
+    def test_equation1_k0_bounded_by_track(self):
+        with pytest.raises(MappingError):
+            cube((6, 3))
+
+    def test_equation3_inner_volume_bounded_by_d(self):
+        # K1*K2 = 12 > D = 9
+        with pytest.raises(MappingError):
+            cube((5, 4, 3, 2))
+
+    def test_equation2_last_dim_bounded_by_zone_tracks(self):
+        # tracks_per_cube = 3 * 14 = 42 > 40 tracks
+        with pytest.raises(MappingError):
+            cube((5, 3, 14))
+
+    def test_boundary_of_equation3(self):
+        cube((5, 9, 2), tracks=100)  # inner volume exactly D
+        with pytest.raises(MappingError):
+            cube((5, 10, 2), tracks=100)
+
+    def test_rejects_zero_side(self):
+        with pytest.raises(MappingError):
+            cube((5, 0, 3))
+
+    def test_one_dimensional_cube(self):
+        c = cube((5,))
+        assert c.tracks_per_cube == 1
+        assert c.inner_volume == 1
+
+
+class TestDerivedQuantities:
+    def test_tracks_per_cube(self):
+        assert cube((5, 3, 3)).tracks_per_cube == 9
+
+    def test_cells_per_cube(self):
+        assert cube((5, 3, 3)).cells_per_cube == 45
+
+    def test_adjacency_steps(self):
+        # Figure 4: Dim1 steps 1, Dim2 steps K1=3, Dim3 steps K1*K2=9
+        assert cube((5, 3, 3, 2)).adjacency_steps() == (1, 3, 9)
+
+    def test_track_deltas(self):
+        c = cube((5, 3, 3))
+        deltas = c.track_deltas(
+            np.array([[0, 0, 0], [0, 1, 0], [0, 0, 1], [4, 2, 2]])
+        )
+        assert deltas.tolist() == [0, 1, 3, 8]
+
+
+class TestMapCellFigure5:
+    """The iterative Figure 5 algorithm on the toy disk reproduces the
+    exact LBN tables of the paper's Figures 2-4."""
+
+    @pytest.fixture()
+    def adj(self, toy_model):
+        return AdjacencyModel.for_model(toy_model, depth=9)
+
+    def test_figure2_full_table(self, adj):
+        # (5 x 3): LBN = x0 + 5 * x1
+        for x1 in range(3):
+            for x0 in range(5):
+                assert map_cell(adj, 0, (x0, x1), (5, 3)) == x0 + 5 * x1
+
+    def test_figure3_landmarks(self, adj):
+        K = (5, 3, 3)
+        for cell, lbn in [
+            ((0, 0, 0), 0), ((4, 0, 0), 4), ((0, 1, 0), 5),
+            ((4, 1, 0), 9), ((0, 2, 0), 10), ((0, 0, 1), 15),
+            ((3, 0, 1), 18), ((0, 1, 1), 20), ((0, 2, 1), 25),
+            ((0, 0, 2), 30), ((4, 0, 2), 34), ((0, 1, 2), 35),
+            ((0, 2, 2), 40),
+        ]:
+            assert map_cell(adj, 0, cell, K) == lbn
+
+    def test_figure4_landmarks(self, adj):
+        K = (5, 3, 3, 2)
+        for cell, lbn in [
+            ((0, 0, 0, 0), 0), ((1, 0, 0, 0), 1), ((0, 0, 1, 0), 15),
+            ((0, 0, 2, 0), 30), ((0, 1, 2, 0), 35), ((0, 2, 2, 0), 40),
+            ((0, 0, 0, 1), 45), ((0, 0, 1, 1), 60), ((0, 0, 2, 1), 75),
+            ((0, 1, 2, 1), 80), ((0, 2, 2, 1), 85),
+        ]:
+            assert map_cell(adj, 0, cell, K) == lbn
+
+    def test_rejects_cell_outside_cube(self, adj):
+        with pytest.raises(MappingError):
+            map_cell(adj, 0, (5, 0), (5, 3))
+
+    def test_rejects_rank_mismatch(self, adj):
+        with pytest.raises(MappingError):
+            map_cell(adj, 0, (0, 0), (5, 3, 3))
+
+    def test_nonzero_anchor(self, adj):
+        assert map_cell(adj, 2, (1, 1), (3, 2)) == 8  # 2 + 1 + 5
+
+    @given(
+        x0=st.integers(0, 4),
+        x1=st.integers(0, 2),
+        x2=st.integers(0, 2),
+    )
+    @settings(max_examples=45, deadline=None)
+    def test_property_bijective_within_cube(self, toy_model, x0, x1, x2):
+        adj = AdjacencyModel.for_model(toy_model, depth=9)
+        lbn = map_cell(adj, 0, (x0, x1, x2), (5, 3, 3))
+        assert lbn == x0 + 5 * x1 + 15 * x2  # zero-skew closed form
+
+
+class TestMaxDimensions:
+    def test_equation5_d128(self):
+        assert max_dimensions(128) == 9  # 2 + log2(128)
+
+    def test_equation5_d256(self):
+        assert max_dimensions(256) == 10
+
+    def test_paper_claim_more_than_10_dims(self):
+        """'D is typically on the order of hundreds, allowing mapping for
+        more than 10 dimensions'."""
+        assert max_dimensions(512) >= 10
+
+    def test_minimum(self):
+        assert max_dimensions(1) == 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(MappingError):
+            max_dimensions(0)

@@ -1,0 +1,116 @@
+"""Tests for the basic-cube planner (§4.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import plan_basic_cube, track_waste_fraction
+from repro.errors import MappingError
+
+
+class TestConstraintsRespected:
+    def test_paper_toy_4d(self):
+        p = plan_basic_cube((5, 3, 3, 2), 5, 40, 9)
+        assert p.K == (5, 3, 3, 2)
+        assert p.grid == (1, 1, 1, 1)
+
+    def test_k0_never_exceeds_track(self):
+        p = plan_basic_cube((1000, 10), 686, 16000, 128)
+        assert p.K[0] <= 686
+
+    def test_inner_volume_never_exceeds_d(self):
+        p = plan_basic_cube((259, 259, 259, 10), 686, 16000, 128)
+        assert int(np.prod(p.K[1:-1])) <= 128
+
+    def test_tracks_per_cube_fits_zone(self):
+        p = plan_basic_cube((100, 100, 100), 600, 500, 64)
+        assert p.cube.tracks_per_cube <= 500
+
+    def test_grid_covers_dataset(self):
+        p = plan_basic_cube((259, 259, 259), 686, 16000, 128)
+        for g, k, s in zip(p.grid, p.K, (259, 259, 259)):
+            assert g * k >= s
+
+    def test_one_dimensional(self):
+        p = plan_basic_cube((5000,), 686, 16000, 128)
+        assert p.K == (686,)
+        assert p.cube.tracks_per_cube == 1
+
+
+class TestSpaceEfficiency:
+    def test_packing_fills_tracks(self):
+        """With S0 << T the planner must pack multiple rows per track
+        rather than waste (T - K0)/T of the disk."""
+        p = plan_basic_cube((259, 259, 259), 686, 16000, 128)
+        assert p.packing * p.K[0] > 686 * 0.85
+
+    def test_total_tracks_near_ideal(self):
+        p = plan_basic_cube((259, 259, 259), 686, 16000, 128)
+        ideal = (259 ** 3) / 686
+        assert p.total_tracks <= ideal * 1.25
+
+    def test_waste_fraction_formula(self):
+        # §4.4: (T mod K0)/T with packing
+        assert track_waste_fraction(686, 259, 2) == pytest.approx(168 / 686)
+        assert track_waste_fraction(600, 600, 1) == 0.0
+
+    def test_worst_case_waste_bounded(self):
+        """§4.4: 'In the worst case, it can be 50%' — the planner's K0
+        split avoids that by shortening rows."""
+        p = plan_basic_cube((400, 10, 10), 686, 16000, 128)
+        assert p.waste_fraction < 0.5
+
+
+class TestLocality:
+    def test_short_later_dims_stay_whole(self):
+        """A 25-value dimension must not be split into tiny cubes when the
+        budget allows covering it (beam locality, cf. OLAP Q2)."""
+        p = plan_basic_cube((591, 75, 25, 25), 686, 16000, 128)
+        assert p.K[2] == 25
+        assert p.K[3] == 25
+
+    def test_volume_strategy_maximises_cube(self):
+        compact = plan_basic_cube((259, 259, 259), 686, 16000, 128)
+        volume = plan_basic_cube(
+            (259, 259, 259), 686, 16000, 128, strategy="volume"
+        )
+        assert int(np.prod(volume.K)) >= int(np.prod(compact.K))
+
+    def test_compact_within_tolerance_of_min_tracks(self):
+        p = plan_basic_cube((259, 259, 259), 686, 16000, 128)
+        # the two-pass rule: at most 10% above the minimum track count
+        ideal_groups = plan_basic_cube(
+            (259, 259, 259), 686, 16000, 128
+        ).total_tracks
+        assert p.total_tracks <= ideal_groups * 1.10 + 1
+
+
+class TestValidation:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(MappingError):
+            plan_basic_cube((), 686, 16000, 128)
+        with pytest.raises(MappingError):
+            plan_basic_cube((0, 5), 686, 16000, 128)
+
+    def test_rejects_bad_strategy(self):
+        with pytest.raises(MappingError):
+            plan_basic_cube((5, 5), 686, 16000, 128, strategy="x")
+
+    def test_rejects_zero_depth_for_nd(self):
+        with pytest.raises(MappingError):
+            plan_basic_cube((5, 5, 5), 686, 16000, 0)
+
+    @given(
+        s0=st.integers(1, 400),
+        s1=st.integers(1, 60),
+        s2=st.integers(1, 60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_plans_always_valid(self, s0, s1, s2):
+        p = plan_basic_cube((s0, s1, s2), 300, 2000, 32)
+        assert p.K[0] <= 300
+        assert int(np.prod(p.K[1:-1])) <= 32
+        assert p.cube.tracks_per_cube <= 2000
+        assert all(g * k >= s for g, k, s in zip(p.grid, p.K, (s0, s1, s2)))
+        assert p.total_cubes == int(np.prod(p.grid))

@@ -1,0 +1,101 @@
+"""Tests for §4.5 non-grid mapping: uniform regions over an octree."""
+
+import numpy as np
+import pytest
+
+from repro.core import RegionMapping, merge_uniform_octants
+from repro.index import Octree
+from repro.lvm import LogicalVolume
+
+
+def layered_tree(depth=4):
+    side = 1 << depth
+
+    def level_fn(x, y, z, box_side):
+        return depth if z < side // 2 else depth - 2
+
+    return Octree(depth, level_fn)
+
+
+class TestMergeUniformOctants:
+    def test_layered_tree_merges_into_slabs(self):
+        tree = layered_tree(4)
+        regions = merge_uniform_octants(tree, min_leaves=1)
+        # two slabs: fine lower half, coarse upper half
+        assert len(regions) == 2
+        assert sorted(r.leaf_level for r in regions) == [2, 4]
+
+    def test_regions_cover_leaf_counts(self):
+        tree = layered_tree(4)
+        regions = merge_uniform_octants(tree, min_leaves=1)
+        assert sum(r.n_leaves for r in regions) == tree.n_leaves
+
+    def test_min_leaves_filter(self):
+        tree = layered_tree(4)
+        regions = merge_uniform_octants(tree, min_leaves=10**9)
+        assert regions == []
+
+    def test_grid_matches_shape(self):
+        tree = layered_tree(4)
+        for r in merge_uniform_octants(tree, min_leaves=1):
+            for d in range(3):
+                assert r.grid[d] * r.leaf_side == r.shape[d]
+
+    def test_regions_sorted_by_size(self):
+        tree = layered_tree(4)
+        regions = merge_uniform_octants(tree, min_leaves=1)
+        sizes = [r.n_leaves for r in regions]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_local_coords(self):
+        tree = layered_tree(4)
+        region = merge_uniform_octants(tree, min_leaves=1)[0]
+        origins = np.array([list(region.origin)])
+        np.testing.assert_array_equal(
+            region.leaf_local_coords(origins), [[0, 0, 0]]
+        )
+
+
+class TestRegionMapping:
+    @pytest.fixture()
+    def mapping(self, small_model):
+        tree = layered_tree(4)
+        regions = merge_uniform_octants(tree, min_leaves=1)
+        vol = LogicalVolume([small_model], depth=16)
+        return RegionMapping(tree, regions, vol, 0), tree
+
+    def test_full_coverage_no_fallback(self, mapping):
+        rm, tree = mapping
+        assert rm.coverage == 1.0
+        assert rm.n_fallback == 0
+
+    def test_leaf_lbns_unique(self, mapping):
+        rm, tree = mapping
+        lbns = rm.leaf_lbns(np.arange(tree.n_leaves))
+        assert np.unique(lbns).size == tree.n_leaves
+
+    def test_one_mapper_per_region(self, mapping):
+        rm, tree = mapping
+        assert len(rm.mappers) == len(rm.regions)
+
+    def test_fallback_used_for_unmapped_leaves(self, small_model):
+        tree = layered_tree(4)
+        regions = merge_uniform_octants(tree, min_leaves=1)[:1]
+        vol = LogicalVolume([small_model], depth=16)
+        rm = RegionMapping(tree, regions, vol, 0)
+        assert 0 < rm.coverage < 1.0
+        assert rm.n_fallback > 0
+        lbns = rm.leaf_lbns(np.arange(tree.n_leaves))
+        assert np.unique(lbns).size == tree.n_leaves
+
+    def test_region_leaves_follow_multimap_layout(self, mapping):
+        """Within a uniform region, leaves along the region's first axis
+        map to consecutive LBNs (the Dim0-on-track property)."""
+        rm, tree = mapping
+        region = rm.regions[0]
+        mapper = rm.mappers[0]
+        k0 = min(mapper.K[0], region.grid[0])
+        coords = np.zeros((k0, 3), dtype=np.int64)
+        coords[:, 0] = np.arange(k0)
+        lbns = mapper.lbns(coords)
+        assert (np.diff(lbns) == 1).all()

@@ -1,0 +1,61 @@
+"""Tests for the ASCII layout renderer (the paper's Figures 2-4)."""
+
+import pytest
+
+from repro.core import (
+    MultiMapMapper,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_mapping,
+)
+from repro.errors import MappingError
+from repro.lvm import LogicalVolume
+
+
+class TestPaperFigureRenderings:
+    def test_figure2_exact_text(self):
+        expected = (
+            " 10  11  12  13  14\n"
+            "  5   6   7   8   9\n"
+            "  0   1   2   3   4"
+        )
+        assert render_figure2() == expected
+
+    def test_figure3_layers(self):
+        out = render_figure3()
+        # three layers, labelled by the outer coordinate
+        assert "[x2=0]" in out and "[x2=1]" in out and "[x2=2]" in out
+        # layer 1 starts at LBN 15 (the 3rd adjacent block of 0)
+        assert " 15  16  17  18  19" in out
+        # layer 2 starts at LBN 30
+        assert " 30  31  32  33  34" in out
+
+    def test_figure4_outer_block(self):
+        out = render_figure4()
+        assert "[x2=0, x3=1]" in out
+        # second 3-D cube starts at LBN 45 (the 9th adjacent block of 0)
+        assert " 45  46  47  48  49" in out
+
+    def test_figure4_all_90_cells_present(self):
+        out = render_figure4()
+        numbers = {
+            int(tok) for tok in out.replace("\n", " ").split()
+            if tok.isdigit()
+        }
+        missing = set(range(90)) - numbers
+        assert not missing
+
+
+class TestRenderMapping:
+    def test_1d(self, small_model):
+        vol = LogicalVolume([small_model], depth=16)
+        mm = MultiMapMapper((6,), vol)
+        out = render_mapping(mm)
+        assert len(out.split()) == 6
+
+    def test_cap_enforced(self, small_model):
+        vol = LogicalVolume([small_model], depth=16)
+        mm = MultiMapMapper((40, 12, 10), vol)
+        with pytest.raises(MappingError):
+            render_mapping(mm, max_cells=100)

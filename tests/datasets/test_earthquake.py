@@ -1,0 +1,106 @@
+"""Tests for the synthetic earthquake dataset (§5.4 stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import EarthquakeDataset, build_leaf_layouts
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return EarthquakeDataset(depth=5, min_region_leaves=32)
+
+
+@pytest.fixture(scope="module")
+def layouts(dataset, small_model):
+    return build_leaf_layouts(dataset, lambda: small_model, depth=16)
+
+
+class TestStructure:
+    def test_skewed_multi_level(self, dataset):
+        hist = dataset.octree.levels_histogram()
+        assert len(hist) >= 2  # variable resolution
+
+    def test_paper_like_region_dominance(self, dataset):
+        """Two subareas jointly cover well over 60% of elements (§5.4)."""
+        assert dataset.region_coverage(2) > 0.6
+
+    def test_regions_exist(self, dataset):
+        assert len(dataset.regions) >= 2
+
+    def test_rejects_tiny_depth(self):
+        with pytest.raises(DatasetError):
+            EarthquakeDataset(depth=2)
+
+
+class TestQueries:
+    def test_beam_leaves_nonempty(self, dataset, rng):
+        for axis in range(3):
+            leaves = dataset.beam_leaves(axis, rng)
+            assert leaves.size > 0
+
+    def test_beam_covers_full_axis(self, dataset, rng):
+        leaves = dataset.beam_leaves(0, rng)
+        origins = dataset.octree.leaf_origins()[leaves]
+        assert origins[:, 3].sum() == dataset.side
+
+    def test_range_leaves_grow_with_selectivity(self, dataset):
+        rng1, rng2 = np.random.default_rng(4), np.random.default_rng(4)
+        small = dataset.range_leaves(0.1, rng1)
+        large = dataset.range_leaves(5.0, rng2)
+        assert large.size > small.size
+
+    def test_range_rejects_bad_selectivity(self, dataset, rng):
+        with pytest.raises(DatasetError):
+            dataset.range_leaves(0, rng)
+
+
+class TestLayouts:
+    def test_all_four_layouts_built(self, layouts):
+        assert set(layouts) == {"naive", "zorder", "hilbert", "multimap"}
+
+    def test_lbns_unique_per_layout(self, layouts, dataset):
+        n = dataset.n_elements
+        for name, layout in layouts.items():
+            lbns = layout._lbn_of_leaf
+            assert np.unique(lbns).size == n, name
+
+    def test_plan_covers_requested_leaves(self, layouts, dataset, rng):
+        leaves = dataset.beam_leaves(1, rng)
+        for name, layout in layouts.items():
+            plan = layout.plan_for_leaves(leaves, for_beam=True)
+            assert plan.n_blocks == leaves.size, name
+
+    def test_naive_is_x_major(self, layouts, dataset):
+        """X varies fastest: leaves sorted by (Z, Y, X) get ascending
+        LBNs, so beams along X stream sequentially."""
+        origins = dataset.octree.leaf_origins()
+        order = np.lexsort((origins[:, 0], origins[:, 1], origins[:, 2]))
+        lbns = layouts["naive"]._lbn_of_leaf[order]
+        assert (np.diff(lbns) > 0).all()
+
+    def test_multimap_layout_plays_sptf(self, layouts):
+        assert layouts["multimap"].policy == "sptf"
+
+    def test_multimap_beats_naive_on_z_beams(self, dataset, small_model):
+        """The headline §5.4 effect: MultiMap wins non-major beams."""
+        layouts = build_leaf_layouts(
+            dataset, lambda: small_model, depth=16,
+            which=("naive", "multimap"),
+        )
+        totals = {}
+        for name, layout in layouts.items():
+            rng = np.random.default_rng(17)
+            drive = layout.volume.drive(layout.disk)
+            total = 0.0
+            for _ in range(6):
+                leaves = dataset.beam_leaves(2, rng)
+                plan = layout.plan_for_leaves(leaves, for_beam=True)
+                drive.randomize_position(rng)
+                total += drive.service_runs(
+                    plan.starts, plan.lengths, policy=layout.policy,
+                    window=128,
+                ).total_ms
+            totals[name] = total
+        assert totals["multimap"] < totals["naive"]

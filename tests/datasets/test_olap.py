@@ -1,0 +1,114 @@
+"""Tests for the 4-D OLAP cube and the five §5.5 queries."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    OLAP_CHUNK_DIMS,
+    OLAP_RAW_DIMS,
+    OLAP_ROLLED_DIMS,
+    OLAPCube,
+    generate_fact_table,
+    paper_olap_queries,
+)
+from repro.query import BeamQuery, RangeQuery
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return OLAPCube.from_fact_table(generate_fact_table(20_000, seed=9))
+
+
+class TestCubeShapes:
+    def test_paper_dims(self):
+        assert OLAP_RAW_DIMS == (2361, 150, 25, 50)
+        assert OLAP_ROLLED_DIMS == (1182, 150, 25, 50)
+        assert OLAP_CHUNK_DIMS == (591, 75, 25, 25)
+
+    def test_chunking_consistent(self):
+        """Two chunks per rolled dimension except Nation (§5.5)."""
+        ratio = [r // c for r, c in zip(OLAP_ROLLED_DIMS, OLAP_CHUNK_DIMS)]
+        assert ratio == [2, 2, 1, 2]
+
+
+class TestAggregation:
+    def test_counts_total(self, cube):
+        assert int(cube.counts.sum()) == 20_000
+
+    def test_profit_preserved(self, cube):
+        table = generate_fact_table(20_000, seed=9)
+        assert cube.profit.sum() == pytest.approx(table.profit.sum())
+
+    def test_cell_lookup(self, cube):
+        table = generate_fact_table(20_000, seed=9)
+        row = tuple(int(v) for v in table.coordinates()[0])
+        assert cube.counts[row] >= 1
+
+
+class TestRollUp:
+    def test_rollup_halves_axis0(self, cube):
+        rolled = cube.roll_up_orderdate(2)
+        assert rolled.dims[0] == -(-2361 // 2)
+        assert rolled.dims[1:] == cube.dims[1:]
+
+    def test_rollup_preserves_totals(self, cube):
+        rolled = cube.roll_up_orderdate(2)
+        assert int(rolled.counts.sum()) == int(cube.counts.sum())
+        assert rolled.profit.sum() == pytest.approx(cube.profit.sum())
+
+    def test_rollup_increases_density(self, cube):
+        """The §5.5 motivation: combining two days roughly doubles the
+        points per cell."""
+        rolled = cube.roll_up_orderdate(2)
+        assert rolled.mean_points_per_cell == pytest.approx(
+            cube.mean_points_per_cell * 2, rel=0.01
+        )
+
+    def test_rollup_factor_one_is_identity(self, cube):
+        same = cube.roll_up_orderdate(1)
+        assert same.dims == cube.dims
+
+    def test_occupancy_bounds(self, cube):
+        assert 0 < cube.occupancy() < 1
+
+
+class TestPaperQueries:
+    def test_query_set(self):
+        qs = paper_olap_queries(rng=np.random.default_rng(0))
+        assert set(qs) == {"Q1", "Q2", "Q3", "Q4", "Q5"}
+
+    def test_q1_is_orderdate_beam(self):
+        qs = paper_olap_queries(rng=np.random.default_rng(0))
+        assert isinstance(qs["Q1"], BeamQuery)
+        assert qs["Q1"].axis == 0
+
+    def test_q2_is_nation_beam(self):
+        qs = paper_olap_queries(rng=np.random.default_rng(0))
+        assert isinstance(qs["Q2"], BeamQuery)
+        assert qs["Q2"].axis == 2
+
+    def test_q3_shape(self):
+        qs = paper_olap_queries(rng=np.random.default_rng(0))
+        assert isinstance(qs["Q3"], RangeQuery)
+        assert qs["Q3"].shape == (183, 1, 1, 25)
+
+    def test_q4_shape(self):
+        qs = paper_olap_queries(rng=np.random.default_rng(0))
+        assert qs["Q4"].shape == (183, 1, 25, 25)
+
+    def test_q5_shape(self):
+        qs = paper_olap_queries(rng=np.random.default_rng(0))
+        assert qs["Q5"].shape == (10, 10, 10, 10)
+
+    def test_queries_within_chunk(self):
+        for seed in range(5):
+            qs = paper_olap_queries(rng=np.random.default_rng(seed))
+            for q in qs.values():
+                if isinstance(q, RangeQuery):
+                    for d in range(4):
+                        assert 0 <= q.lo[d] < q.hi[d] <= OLAP_CHUNK_DIMS[d]
+
+    def test_custom_chunk_dims(self):
+        qs = paper_olap_queries((100, 20, 25, 25),
+                                rng=np.random.default_rng(1))
+        assert qs["Q3"].shape[0] == 100  # year clipped to chunk

@@ -1,0 +1,171 @@
+"""Tests for the adjacency model: adjacent blocks, semi-sequential paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk import AdjacencyModel, DiskDrive
+from repro.errors import AdjacencyError
+
+
+class TestToyDiskPaperFigures:
+    """The toy disk (T=5, D=9, zero skew) matches the paper's Figures 2-4."""
+
+    def test_first_adjacent_of_0_is_5(self, toy_adjacency):
+        assert toy_adjacency.get_adjacent(0, 1) == 5
+
+    def test_first_adjacent_of_5_is_10(self, toy_adjacency):
+        assert toy_adjacency.get_adjacent(5, 1) == 10
+
+    def test_third_adjacent_of_0_is_15(self, toy_adjacency):
+        assert toy_adjacency.get_adjacent(0, 3) == 15
+
+    def test_third_adjacent_of_15_is_30(self, toy_adjacency):
+        assert toy_adjacency.get_adjacent(15, 3) == 30
+
+    def test_ninth_adjacent_of_0_is_45(self, toy_adjacency):
+        assert toy_adjacency.get_adjacent(0, 9) == 45
+
+    def test_track_boundaries(self, toy_adjacency):
+        assert toy_adjacency.get_track_boundaries(0) == (0, 5)
+        assert toy_adjacency.get_track_boundaries(7) == (5, 10)
+
+
+class TestInterface:
+    def test_depth_defaults_to_r_times_c(self, small_model):
+        adj = AdjacencyModel.for_model(small_model)
+        expected = (
+            small_model.geometry.surfaces
+            * small_model.mechanics.settle_cylinders
+        )
+        assert adj.D == expected
+
+    def test_depth_override(self, small_model):
+        adj = AdjacencyModel.for_model(small_model, depth=4)
+        assert adj.D == 4
+
+    def test_depth_above_settle_region_rejected(self, small_model):
+        max_d = (
+            small_model.geometry.surfaces
+            * small_model.mechanics.settle_cylinders
+        )
+        with pytest.raises(AdjacencyError):
+            AdjacencyModel.for_model(small_model, depth=max_d + 1)
+
+    def test_step_zero_rejected(self, small_adjacency):
+        with pytest.raises(AdjacencyError):
+            small_adjacency.get_adjacent(0, 0)
+
+    def test_step_beyond_d_rejected(self, small_adjacency):
+        with pytest.raises(AdjacencyError):
+            small_adjacency.get_adjacent(0, small_adjacency.D + 1)
+
+    def test_zone_boundary_rejected(self, small_model):
+        adj = AdjacencyModel.for_model(small_model)
+        geom = small_model.geometry
+        last_track_zone0 = geom.zone_tracks(0) - 1
+        lbn = geom.track_first_lbn(last_track_zone0)
+        with pytest.raises(AdjacencyError):
+            adj.get_adjacent(lbn, 1)
+
+    def test_adjacent_is_on_expected_track(self, small_adjacency, small_model):
+        geom = small_model.geometry
+        for j in (1, 2, 7, small_adjacency.D):
+            target = small_adjacency.get_adjacent(1000, j)
+            assert geom.track_of(target) == geom.track_of(1000) + j
+
+    def test_vectorised_matches_scalar(self, small_adjacency):
+        lbns = np.array([0, 3, 119, 240, 1001])
+        for j in (1, 2, 5):
+            vec = small_adjacency.get_adjacent_array(lbns, j)
+            scal = [small_adjacency.get_adjacent(int(x), j) for x in lbns]
+            np.testing.assert_array_equal(vec, scal)
+
+    def test_vectorised_rejects_boundary(self, small_model):
+        adj = AdjacencyModel.for_model(small_model)
+        geom = small_model.geometry
+        last = geom.track_first_lbn(geom.zone_tracks(0) - 1)
+        with pytest.raises(AdjacencyError):
+            adj.get_adjacent_array(np.array([0, last]), 1)
+
+    def test_semi_sequential_path_links(self, small_adjacency):
+        path = small_adjacency.semi_sequential_path(0, 6, step=2)
+        for a, b in zip(path, path[1:]):
+            assert small_adjacency.get_adjacent(int(a), 2) == int(b)
+
+    def test_max_dimensions_equation5(self, small_model):
+        # Nmax = 2 + log2(D)
+        adj = AdjacencyModel.for_model(small_model, depth=16)
+        assert adj.max_dimensions() == 6
+
+
+class TestTimingGuarantees:
+    """The defining property: every adjacent block costs exactly one settle
+    with no rotational latency, for every step 1..D."""
+
+    @pytest.mark.parametrize("step", [1, 2, 3, 8, 16])
+    def test_hop_cost_is_settle_plus_alignment(self, small_model, step):
+        adj = AdjacencyModel.for_model(small_model)
+        drive = DiskDrive(small_model)
+        lbn = 240  # mid zone 0
+        drive.service(lbn)
+        target = adj.get_adjacent(lbn, step)
+        tm = drive.service(target)
+        zone = small_model.geometry.zone(0)
+        expected = adj.expected_hop_ms(0)
+        # hop = settle + residual alignment + 1-sector transfer
+        sector = small_model.mechanics.rotation_ms / zone.sectors_per_track
+        assert tm.seek_ms == pytest.approx(small_model.mechanics.settle_ms)
+        assert tm.total_ms == pytest.approx(expected + sector, abs=sector)
+
+    def test_all_steps_equal_cost(self, small_model):
+        """Paper: first and D-th adjacent block are equally fast."""
+        adj = AdjacencyModel.for_model(small_model)
+        costs = []
+        for step in range(1, adj.D + 1):
+            drive = DiskDrive(small_model)
+            drive.service(240)
+            tm = drive.service(adj.get_adjacent(240, step))
+            costs.append(tm.total_ms)
+        assert max(costs) - min(costs) < 1e-6
+
+    def test_semi_sequential_beats_nearby_random_by_4x(self, atlas_model):
+        """Paper §3.2: semi-sequential outperforms nearby access within D
+        tracks by about a factor of four."""
+        adj = AdjacencyModel.for_model(atlas_model)
+        drive = DiskDrive(atlas_model)
+        n = 200
+        path = adj.semi_sequential_path(0, n, 1)
+        semi = drive.service_lbns(path, policy="fifo").total_ms / n
+
+        rng = np.random.default_rng(11)
+        geom = atlas_model.geometry
+        start_track = geom.track_of(0)
+        tracks = start_track + rng.integers(1, adj.D, size=n)
+        sectors = rng.integers(0, geom.track_length(0), size=n)
+        lbns = geom.lbns_from(tracks, sectors)
+        drive2 = DiskDrive(atlas_model)
+        nearby = drive2.service_lbns(lbns, policy="fifo").total_ms / n
+
+        assert nearby / semi > 3.0
+
+    @given(
+        lbn=st.integers(min_value=0, max_value=10_000),
+        step=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_zero_rotational_latency(self, small_model, lbn, step):
+        adj = AdjacencyModel.for_model(small_model)
+        drive = DiskDrive(small_model)
+        drive.service(lbn)
+        try:
+            target = adj.get_adjacent(lbn, step)
+        except AdjacencyError:
+            return
+        tm = drive.service(target)
+        zone = small_model.geometry.zone(
+            small_model.geometry.zone_index_of_lbn(lbn)
+        )
+        two_sectors = 2 * small_model.mechanics.rotation_ms / zone.sectors_per_track
+        assert tm.rotation_ms < two_sectors

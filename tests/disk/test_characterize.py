@@ -1,0 +1,89 @@
+"""Tests for black-box drive characterisation.
+
+The extractor must recover the mechanical parameters *through the public
+service interface only* — mirroring how DIXtrac measured real drives.
+"""
+
+import pytest
+
+from repro.disk import DiskDrive, extract_profile, measure_seek_profile, synthetic_disk
+
+
+@pytest.fixture(scope="module")
+def probe_model():
+    """Small disk so exhaustive sector probing stays fast."""
+    return synthetic_disk(
+        "probe",
+        rpm=10_000,
+        settle_ms=1.0,
+        settle_cylinders=4,
+        surfaces=2,
+        zone_specs=[(120, 64), (120, 48)],
+        avg_seek_ms=3.0,
+        full_stroke_ms=6.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def profile(probe_model):
+    return extract_profile(DiskDrive(probe_model), samples=3)
+
+
+class TestSeekMeasurement:
+    def test_measured_curve_matches_model(self, probe_model):
+        drive = DiskDrive(probe_model)
+        curve = measure_seek_profile(drive, distances=[1, 2, 4, 8, 50], samples=3)
+        for m in curve:
+            expected = probe_model.mechanics.seek_time(m.distance_cylinders)
+            assert m.seek_ms == pytest.approx(expected)
+
+    def test_default_distances_cover_settle_region(self, probe_model):
+        drive = DiskDrive(probe_model)
+        curve = measure_seek_profile(drive, samples=1)
+        distances = [m.distance_cylinders for m in curve]
+        assert probe_model.mechanics.settle_cylinders in distances
+
+    def test_curve_is_sorted_and_monotone(self, profile):
+        dists = [m.distance_cylinders for m in profile.seek_curve]
+        assert dists == sorted(dists)
+        times = [m.seek_ms for m in profile.seek_curve]
+        assert all(b >= a - 1e-9 for a, b in zip(times, times[1:]))
+
+
+class TestExtraction:
+    def test_settle_time_recovered(self, profile, probe_model):
+        assert profile.settle_ms == pytest.approx(
+            probe_model.mechanics.settle_ms, rel=0.01
+        )
+
+    def test_settle_region_recovered(self, profile, probe_model):
+        assert profile.settle_cylinders == probe_model.mechanics.settle_cylinders
+
+    def test_adjacency_depth_is_r_times_c(self, profile, probe_model):
+        expected = (
+            probe_model.geometry.surfaces
+            * probe_model.mechanics.settle_cylinders
+        )
+        assert profile.adjacency_depth == expected
+
+    def test_first_adjacent_has_same_sector_index(self, profile, probe_model):
+        # skew-aligned drives: first adjacent block = same sector, next track
+        for zi, _zone in enumerate(probe_model.geometry.zones):
+            assert profile.first_adjacent_sector_delta[zi] == 0
+
+    def test_measured_hop_cost_matches_skew_rotation(self, profile, probe_model):
+        # start-to-start semi-sequential cadence = one skew of rotation;
+        # hop_ms excludes the one-sector transfer.
+        mech = probe_model.mechanics
+        for zi, zone in enumerate(probe_model.geometry.zones):
+            spt = zone.sectors_per_track
+            sector = mech.rotation_ms / spt
+            predicted = zone.skew_sectors * sector - sector
+            assert profile.hop_ms[zi] == pytest.approx(predicted, rel=0.05)
+        assert all(h >= profile.settle_ms - 1e-9 for h in profile.hop_ms)
+
+    def test_seek_at_lookup(self, profile):
+        first = profile.seek_curve[0]
+        assert profile.seek_at(first.distance_cylinders) == first.seek_ms
+        with pytest.raises(KeyError):
+            profile.seek_at(10**9)

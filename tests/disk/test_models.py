@@ -1,0 +1,84 @@
+"""Tests for the disk model factories."""
+
+import pytest
+
+from repro.disk import (
+    DiskDrive,
+    atlas_10k3,
+    cheetah_36es,
+    paper_disks,
+    synthetic_disk,
+    toy_disk,
+)
+
+
+class TestPaperDisks:
+    def test_two_disks_in_paper_order(self):
+        disks = paper_disks()
+        assert [d.name for d in disks] == [
+            "Maxtor Atlas 10k III",
+            "Seagate Cheetah 36ES",
+        ]
+
+    def test_ten_k_rpm(self):
+        for model in paper_disks():
+            assert model.mechanics.rotation_ms == pytest.approx(6.0)
+
+    def test_settle_times_comparable(self):
+        """The paper: both disks have comparable settle times, which is
+        why MultiMap performs almost identically on them."""
+        a, c = paper_disks()
+        assert abs(a.mechanics.settle_ms - c.mechanics.settle_ms) < 0.5
+
+    def test_command_overhead_present(self):
+        for model in paper_disks():
+            assert model.mechanics.command_overhead_ms > 0
+
+    def test_zone_count(self):
+        assert len(atlas_10k3().geometry.zones) == 8
+        assert len(cheetah_36es().geometry.zones) == 9
+
+    def test_repr_shows_capacity(self):
+        assert "GB" in repr(atlas_10k3())
+
+
+class TestToyDisk:
+    def test_track_length_five(self):
+        assert toy_disk().geometry.track_length(0) == 5
+
+    def test_zero_skew(self):
+        for zone in toy_disk().geometry.zones:
+            assert zone.skew_sectors == 0
+
+    def test_one_ms_per_sector(self):
+        model = toy_disk()
+        spt = model.geometry.track_length(0)
+        assert model.mechanics.rotation_ms / spt == pytest.approx(1.0)
+
+    def test_supports_depth_nine(self):
+        model = toy_disk()
+        assert (
+            model.geometry.surfaces * model.mechanics.settle_cylinders == 9
+        )
+
+
+class TestSyntheticDisk:
+    def test_defaults_valid(self):
+        model = synthetic_disk()
+        DiskDrive(model).service(0)
+
+    def test_parameters_respected(self):
+        model = synthetic_disk(
+            "x", rpm=7200, settle_ms=0.8, surfaces=3,
+            zone_specs=[(50, 100)], command_overhead_ms=0.2,
+        )
+        assert model.mechanics.rotation_ms == pytest.approx(60000 / 7200)
+        assert model.geometry.surfaces == 3
+        assert model.mechanics.command_overhead_ms == 0.2
+
+    def test_streaming_bandwidth_realistic(self):
+        """Outer-zone streaming of the paper drives sits in the tens of
+        MB/s, as 2002-era 10k drives did."""
+        for model in paper_disks():
+            bw = DiskDrive(model).streaming_bandwidth_bytes_per_s(0) / 1e6
+            assert 30 < bw < 80

@@ -1,0 +1,148 @@
+"""Tests for the region octree substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DatasetError
+from repro.index import Octree, OctreeLeaf
+
+
+def uniform_tree(depth=3, level=2):
+    return Octree(depth, lambda x, y, z, side: level)
+
+
+def layered_tree(depth=4):
+    side = 1 << depth
+
+    def level_fn(x, y, z, box_side):
+        return depth if z < side // 2 else depth - 2
+
+    return Octree(depth, level_fn)
+
+
+class TestConstruction:
+    def test_uniform_leaf_count(self):
+        tree = uniform_tree(depth=3, level=2)
+        assert tree.n_leaves == 8 ** 2
+
+    def test_full_depth_leaf_count(self):
+        tree = uniform_tree(depth=3, level=3)
+        assert tree.n_leaves == 8 ** 3
+
+    def test_root_only(self):
+        tree = uniform_tree(depth=3, level=0)
+        assert tree.n_leaves == 1
+
+    def test_depth_bounds(self):
+        with pytest.raises(DatasetError):
+            Octree(0, lambda *a: 0)
+        with pytest.raises(DatasetError):
+            Octree(13, lambda *a: 0)
+
+    def test_leaves_partition_space(self):
+        """Leaf volumes must sum to the whole cube with no overlap."""
+        tree = layered_tree(4)
+        origins = tree.leaf_origins()
+        total = (origins[:, 3] ** 3).sum()
+        assert total == (1 << 4) ** 3
+
+    def test_levels_histogram(self):
+        tree = layered_tree(4)
+        hist = tree.levels_histogram()
+        assert 4 in hist and 2 in hist
+        assert sum(hist.values()) == tree.n_leaves
+
+
+class TestLookup:
+    def test_find_leaf_fine_region(self):
+        tree = layered_tree(4)
+        leaf = tree.find_leaf(3, 5, 2)  # z < 8: fine half
+        assert leaf.level == 4
+        assert (leaf.ix, leaf.iy, leaf.iz) == (3, 5, 2)
+
+    def test_find_leaf_coarse_region(self):
+        tree = layered_tree(4)
+        leaf = tree.find_leaf(3, 5, 12)
+        assert leaf.level == 2
+
+    def test_find_leaf_out_of_bounds(self):
+        with pytest.raises(DatasetError):
+            layered_tree(4).find_leaf(16, 0, 0)
+
+    def test_leaf_extent(self):
+        leaf = OctreeLeaf(2, 1, 2, 3)
+        origin, side = leaf.extent(depth=4)
+        assert side == 4
+        assert origin == (4, 8, 12)
+
+
+class TestBoxQueries:
+    def test_box_inside_fine_region(self):
+        tree = layered_tree(4)
+        idx = tree.leaves_in_box((0, 0, 0), (4, 4, 4))
+        assert idx.size == 64  # all finest leaves
+
+    def test_box_spanning_levels(self):
+        tree = layered_tree(4)
+        idx = tree.leaves_in_box((0, 0, 6), (4, 4, 10))
+        levels = np.unique(tree.leaves()[idx, 0])
+        assert set(levels.tolist()) == {2, 4}
+
+    def test_whole_domain(self):
+        tree = layered_tree(4)
+        idx = tree.leaves_in_box((0, 0, 0), (16, 16, 16))
+        assert idx.size == tree.n_leaves
+
+    def test_beam_line_ordering(self):
+        tree = layered_tree(4)
+        idx = tree.leaves_on_line(2, (0, 0))  # along z at x=y=0
+        origins = tree.leaf_origins()[idx]
+        assert (np.diff(origins[:, 2]) > 0).all()
+
+    def test_beam_covers_line(self):
+        tree = layered_tree(4)
+        idx = tree.leaves_on_line(0, (7, 9))
+        origins = tree.leaf_origins()[idx]
+        covered = (origins[:, 3]).sum()
+        assert covered == 16  # the full x extent
+
+    def test_beam_bad_axis(self):
+        with pytest.raises(DatasetError):
+            layered_tree(4).leaves_on_line(3, (0, 0))
+
+
+class TestUniformRegions:
+    def test_uniform_tree_is_one_region(self):
+        tree = uniform_tree(depth=3, level=2)
+        regions = tree.uniform_regions()
+        assert len(regions) == 1
+        assert regions[0]["origin"] == (0, 0, 0)
+        assert regions[0]["leaf_level"] == 2
+
+    def test_layered_tree_regions_have_single_levels(self):
+        tree = layered_tree(4)
+        for region in tree.uniform_regions():
+            idx = region["leaf_indices"]
+            levels = np.unique(tree.leaves()[idx, 0])
+            assert levels.size == 1
+
+    def test_regions_cover_all_leaves(self):
+        tree = layered_tree(4)
+        covered = np.concatenate(
+            [r["leaf_indices"] for r in tree.uniform_regions()]
+        )
+        assert np.unique(covered).size == tree.n_leaves
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_find_leaf_consistent_with_boxes(self, seed):
+        tree = layered_tree(3)
+        rng = np.random.default_rng(seed)
+        x, y, z = (int(rng.integers(0, 8)) for _ in range(3))
+        leaf = tree.find_leaf(x, y, z)
+        idx = tree.leaves_in_box((x, y, z), (x + 1, y + 1, z + 1))
+        assert idx.size == 1
+        row = tree.leaves()[int(idx[0])]
+        assert OctreeLeaf(*map(int, row)) == leaf

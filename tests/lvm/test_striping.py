@@ -1,0 +1,72 @@
+"""Tests for declustering strategies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError
+from repro.lvm import assign_chunks, disk_modulo, round_robin
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        np.testing.assert_array_equal(
+            round_robin(6, 3), [0, 1, 2, 0, 1, 2]
+        )
+
+    def test_single_disk(self):
+        assert set(round_robin(5, 1).tolist()) == {0}
+
+    def test_balanced(self):
+        out = round_robin(100, 4)
+        counts = np.bincount(out)
+        assert counts.max() - counts.min() <= 1
+
+    def test_rejects_zero_disks(self):
+        with pytest.raises(AllocationError):
+            round_robin(4, 0)
+
+
+class TestDiskModulo:
+    def test_2d_grid(self):
+        # 2x2 grid on 2 disks: (0,0)->0 (1,0)->1 (0,1)->1 (1,1)->0
+        out = disk_modulo((2, 2), 2)
+        np.testing.assert_array_equal(out, [0, 1, 1, 0])
+
+    def test_rows_spread_across_disks(self):
+        grid = (4, 4)
+        out = disk_modulo(grid, 4).reshape(4, 4)
+        for row in out:
+            assert sorted(row.tolist()) == [0, 1, 2, 3]
+        for col in out.T:
+            assert sorted(col.tolist()) == [0, 1, 2, 3]
+
+    def test_3d_shape(self):
+        out = disk_modulo((2, 3, 4), 5)
+        assert out.size == 24
+
+    def test_rejects_zero_disks(self):
+        with pytest.raises(AllocationError):
+            disk_modulo((2, 2), 0)
+
+
+class TestAssignChunks:
+    def test_round_robin_dispatch(self):
+        np.testing.assert_array_equal(
+            assign_chunks(4, 2, "round_robin"), [0, 1, 0, 1]
+        )
+
+    def test_disk_modulo_dispatch(self):
+        out = assign_chunks(4, 2, "disk_modulo", grid_shape=(2, 2))
+        assert out.size == 4
+
+    def test_disk_modulo_needs_grid(self):
+        with pytest.raises(AllocationError):
+            assign_chunks(4, 2, "disk_modulo")
+
+    def test_disk_modulo_grid_mismatch(self):
+        with pytest.raises(AllocationError):
+            assign_chunks(5, 2, "disk_modulo", grid_shape=(2, 2))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(AllocationError):
+            assign_chunks(4, 2, "nope")

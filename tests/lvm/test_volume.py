@@ -1,0 +1,149 @@
+"""Tests for the logical volume manager."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError
+from repro.lvm import Extent, LogicalVolume
+from repro.disk import synthetic_disk
+
+
+@pytest.fixture()
+def volume(small_model):
+    return LogicalVolume([small_model], depth=16)
+
+
+class TestExtent:
+    def test_end(self):
+        assert Extent(0, 10, 5).end == 15
+
+    def test_rejects_empty(self):
+        with pytest.raises(AllocationError):
+            Extent(0, 10, 0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(AllocationError):
+            Extent(0, -1, 5)
+
+
+class TestConstruction:
+    def test_needs_a_disk(self):
+        with pytest.raises(AllocationError):
+            LogicalVolume([])
+
+    def test_n_disks(self, small_model):
+        vol = LogicalVolume([small_model, small_model])
+        assert vol.n_disks == 2
+
+    def test_depth_exposed(self, volume):
+        assert volume.depth(0) == 16
+
+    def test_default_depth_is_r_times_c(self, small_model):
+        vol = LogicalVolume([small_model])
+        expected = (
+            small_model.geometry.surfaces
+            * small_model.mechanics.settle_cylinders
+        )
+        assert vol.depth(0) == expected
+
+
+class TestZoneInfo:
+    def test_zone_info_fields(self, volume, small_model):
+        zi = volume.zone_info(0, 0)
+        zone = small_model.geometry.zone(0)
+        assert zi.track_length == zone.sectors_per_track
+        assert zi.tracks == small_model.geometry.zone_tracks(0)
+        assert zi.first_lbn == 0
+        assert zi.hop_ms > 0
+
+    def test_zones_lists_all(self, volume, small_model):
+        assert len(volume.zones(0)) == len(small_model.geometry.zones)
+
+
+class TestInterfaceFunctions:
+    def test_get_adjacent_passthrough(self, volume, small_model):
+        from repro.disk import AdjacencyModel
+
+        adj = AdjacencyModel.for_model(small_model, depth=16)
+        assert volume.get_adjacent(0, 100, 3) == adj.get_adjacent(100, 3)
+
+    def test_get_track_boundaries_passthrough(self, volume, small_model):
+        assert volume.get_track_boundaries(0, 100) == (
+            small_model.geometry.track_boundaries(100)
+        )
+
+
+class TestAllocation:
+    def test_track_allocation_is_track_aligned(self, volume, small_model):
+        ext = volume.allocate_tracks(0, 4)
+        geom = small_model.geometry
+        assert geom.sector_of(ext.start) == 0
+        assert ext.nblocks == 4 * geom.track_length(0)
+
+    def test_sequential_allocations_do_not_overlap(self, volume):
+        a = volume.allocate_tracks(0, 3)
+        b = volume.allocate_tracks(0, 5)
+        assert b.start >= a.end
+
+    def test_allocation_skips_zone_remainder(self, volume, small_model):
+        geom = small_model.geometry
+        z0_tracks = geom.zone_tracks(0)
+        volume.allocate_tracks(0, z0_tracks - 1)
+        ext = volume.allocate_tracks(0, 4)  # cannot fit in zone 0 remainder
+        assert geom.zone_index_of_lbn(ext.start) == 1
+
+    def test_zone_pinned_allocation(self, volume, small_model):
+        ext = volume.allocate_tracks(0, 2, zone_index=1)
+        assert small_model.geometry.zone_index_of_lbn(ext.start) == 1
+
+    def test_zone_pinned_overflow_raises(self, volume, small_model):
+        tracks = small_model.geometry.zone_tracks(1)
+        with pytest.raises(AllocationError):
+            volume.allocate_tracks(0, tracks + 1, zone_index=1)
+
+    def test_oversized_allocation_raises(self, volume, small_model):
+        with pytest.raises(AllocationError):
+            volume.allocate_tracks(
+                0, small_model.geometry.n_tracks + 1
+            )
+
+    def test_exhaustion_raises(self, small_model):
+        vol = LogicalVolume([small_model])
+        geom = small_model.geometry
+        for zi in range(len(geom.zones)):
+            vol.allocate_tracks(0, geom.zone_tracks(zi), zone_index=zi)
+        with pytest.raises(AllocationError):
+            vol.allocate_tracks(0, 1)
+
+    def test_block_allocation(self, volume):
+        ext = volume.allocate_blocks(0, 1000)
+        assert ext.nblocks == 1000
+
+    def test_block_allocation_advances_cursor(self, volume):
+        a = volume.allocate_blocks(0, 1000)
+        b = volume.allocate_blocks(0, 1000)
+        assert b.start >= a.end
+
+    def test_free_tracks_in_zone(self, volume, small_model):
+        total = small_model.geometry.zone_tracks(0)
+        assert volume.free_tracks_in_zone(0, 0) == total
+        volume.allocate_tracks(0, 10)
+        assert volume.free_tracks_in_zone(0, 0) == total - 10
+
+    def test_reset_allocation(self, volume):
+        volume.allocate_tracks(0, 10)
+        volume.reset_allocation()
+        ext = volume.allocate_tracks(0, 1)
+        assert ext.start == 0
+
+    def test_rejects_nonpositive(self, volume):
+        with pytest.raises(AllocationError):
+            volume.allocate_tracks(0, 0)
+        with pytest.raises(AllocationError):
+            volume.allocate_blocks(0, 0)
+
+    def test_per_disk_cursors_independent(self, small_model):
+        vol = LogicalVolume([small_model, small_model])
+        vol.allocate_tracks(0, 10)
+        ext = vol.allocate_tracks(1, 1)
+        assert ext.start == 0

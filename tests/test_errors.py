@@ -1,0 +1,38 @@
+"""The exception hierarchy: everything catchable as ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.GeometryError,
+            errors.AdjacencyError,
+            errors.MappingError,
+            errors.AllocationError,
+            errors.QueryError,
+            errors.DatasetError,
+        ],
+    )
+    def test_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+    def test_library_raises_catchable_errors(self, small_model):
+        """A few real failure paths, all caught by the base class."""
+        from repro.core import MultiMapMapper, plan_basic_cube
+        from repro.lvm import LogicalVolume
+
+        with pytest.raises(errors.ReproError):
+            plan_basic_cube((), 100, 100, 8)
+        vol = LogicalVolume([small_model])
+        with pytest.raises(errors.ReproError):
+            MultiMapMapper((10**6, 10**3), vol)
+        with pytest.raises(errors.ReproError):
+            vol.allocate_blocks(0, -5)
+        with pytest.raises(errors.ReproError):
+            small_model.geometry.check_lbn(-1)
