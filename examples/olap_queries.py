@@ -4,24 +4,21 @@
 Generates a scaled TPC-H-like fact table, aggregates it into the 4-D cube
 (OrderDate x ProductType x Nation x Quantity), rolls OrderDate up by 2 as
 the paper does, then runs the five evaluation queries against a per-disk
-chunk under all four layouts.
+chunk under all four layouts — each layout a :class:`repro.Dataset` clone
+of the same chunk via ``with_layout``.
 
 Run:  python examples/olap_queries.py
 """
 
 import numpy as np
 
+from repro import Dataset
 from repro.bench.reporting import render_table
-from repro.datasets import (
-    OLAPCube,
-    build_chunk_mappers,
-    generate_fact_table,
-    paper_olap_queries,
-)
-from repro.disk import atlas_10k3
-from repro.query import StorageManager
+from repro.datasets import MAPPER_ORDER, OLAPCube, generate_fact_table, paper_olap_queries
 
 CHUNK = (296, 38, 25, 25)  # scaled-down per-disk chunk (paper: 591x75x25x25)
+SEED = 23
+RUNS = 3
 
 
 def main() -> None:
@@ -35,7 +32,7 @@ def main() -> None:
           f"points/cell (the paper's roll-up-by-2 on OrderDate)")
 
     print(f"\nplacing a {CHUNK} chunk with all four layouts ...")
-    mappers = build_chunk_mappers(CHUNK, atlas_10k3)
+    base = Dataset.create(CHUNK, layout=MAPPER_ORDER[0], drive="atlas10k3")
 
     queries = {
         "Q1  profit of product P, quantity Q, nation C, all dates",
@@ -47,14 +44,16 @@ def main() -> None:
     print("\n".join(sorted(queries)))
 
     rows = []
-    for name, (mapper, volume) in mappers.items():
-        sm = StorageManager(volume)
+    for name in MAPPER_ORDER:
+        ds = base if name == base.layout else base.with_layout(name)
         series = {}
-        for run in range(3):
-            rng = np.random.default_rng(23 + run)
+        for run in range(RUNS):
+            rng = np.random.default_rng(SEED + run)
             for qname, query in paper_olap_queries(CHUNK, rng).items():
-                res = sm.run_query(mapper, query, rng=rng)
-                series.setdefault(qname, []).append(res.ms_per_cell)
+                report = ds.run([query], rng=rng)
+                series.setdefault(qname, []).append(
+                    report.mean("ms_per_cell")
+                )
         rows.append(
             [name]
             + [f"{np.mean(series[q]):.3f}" for q in ("Q1", "Q2", "Q3", "Q4", "Q5")]

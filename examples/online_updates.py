@@ -4,71 +4,70 @@
 MultiMap targets static scientific data, but the paper sketches online
 updates: cells loaded with a tunable fill factor, inserts spilling to
 overflow pages when cells fill up, and reclamation by reorganisation.
-This example walks that life cycle on a MultiMap-placed dataset and shows
-the read-path cost of overflow chains.
+This example walks that life cycle through the :class:`repro.Dataset`
+façade — the cell store lives behind the same object as the queries —
+and shows the read-path cost of overflow chains.  The dataset's ``seed``
+drives every random draw, so the run is fully reproducible.
 
 Run:  python examples/online_updates.py
 """
 
 import numpy as np
 
-from repro.core import CellStore, MultiMapMapper
-from repro.disk import atlas_10k3
-from repro.lvm import LogicalVolume
+from repro import Dataset
 
 DIMS = (64, 16, 16)
 
 
-def show(store: CellStore, label: str) -> None:
-    s = store.stats()
+def show(ds: Dataset, label: str) -> None:
+    s = ds.store_stats()
     print(f"  [{label}] points={s.n_points} mean_fill={s.mean_fill:.0%} "
           f"overflow_pages={s.overflow_pages} "
           f"underflow_cells={s.underflow_cells}")
 
 
 def main() -> None:
-    vol = LogicalVolume([atlas_10k3()], depth=128)
-    mapper = MultiMapMapper(DIMS, vol)
-    store = CellStore(
-        mapper, vol, points_per_cell=16, fill_factor=0.75,
-        reclaim_threshold=0.25,
+    ds = Dataset.create(DIMS, layout="multimap", drive="atlas10k3",
+                        seed=0).configure_store(
+        points_per_cell=16, fill_factor=0.75, reclaim_threshold=0.25,
     )
-    rng = np.random.default_rng(0)
+    rng = ds.rng()
 
     print(f"dataset {DIMS}, 16 points per cell, fill factor 0.75\n")
 
     # initial bulk load: ~10 points per cell on average
-    n_cells = mapper.n_cells
+    n_cells = ds.n_cells
     coords = np.stack(
         [rng.integers(0, s, size=10 * n_cells) for s in DIMS], axis=1
     )
-    spilled = store.bulk_load(coords)
+    spilled = ds.bulk_load(coords)
     print(f"bulk load of {10 * n_cells} points "
           f"({spilled} spilled past the fill factor)")
-    show(store, "after load")
+    show(ds, "after load")
 
     # online inserts concentrate on a hot spot -> overflow chains grow
     hot = (5, 3, 2)
-    results = [store.insert(hot, 4) for _ in range(12)]
+    results = [ds.insert(hot, 4) for _ in range(12)]
     print(f"\n12 inserts of 4 points each into cell {hot}: "
           f"{results.count('cell')} fit in the cell, "
           f"{results.count('overflow')} spilled")
-    show(store, "after inserts")
+    show(ds, "after inserts")
 
     # the read path must visit the overflow chain
-    plan = store.read_plan(np.array([hot]))
-    print(f"reading cell {hot} now touches {plan.n_blocks} blocks "
-          f"(1 cell + {plan.n_blocks - 1} overflow pages)")
+    result = ds.read_cells(hot)
+    print(f"reading cell {hot} now touches {result.n_blocks} blocks "
+          f"(1 cell + {result.n_blocks - 1} overflow pages) "
+          f"in {result.total_ms:.2f} ms")
 
     # deletions create underflow, tripping the reorganisation trigger
     cold = coords[0]
-    store.delete(tuple(cold), 14)
+    ds.delete(tuple(cold), 14)
     print(f"\nheavy deletion in cell {tuple(int(c) for c in cold)}")
-    show(store, "after deletes")
-    if store.needs_reorganization:
-        freed = store.reorganize()
+    show(ds, "after deletes")
+    if ds.needs_reorganization:
+        freed = ds.reorganize()
         print(f"reorganisation folded overflow back, freed {freed} pages")
-        show(store, "after reorganisation")
+        show(ds, "after reorganisation")
 
 
 if __name__ == "__main__":

@@ -6,39 +6,43 @@ with each of the paper's four layouts (Naive, Z-order, Hilbert, MultiMap),
 and runs one beam query per dimension plus a 1% range query — the
 miniature version of the paper's Figure 6.
 
+Everything goes through the :class:`repro.Dataset` façade; the five-line
+version of this whole script is::
+
+    from repro import Dataset
+    ds = Dataset.create((216, 64, 64), layout="multimap", drive="atlas10k3")
+    print(ds.random_beams(axis=1, n=5).run().render_table())
+
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
+from repro import Dataset
 from repro.bench.reporting import render_table
-from repro.datasets import build_chunk_mappers
-from repro.disk import atlas_10k3
-from repro.query import StorageManager, random_beam, random_range_cube
+from repro.datasets import MAPPER_ORDER
 
 DIMS = (216, 64, 64)
+BEAM_SEED = 42   # per-axis streams are BEAM_SEED + axis
+RANGE_SEED = 7
 
 
 def main() -> None:
+    base = Dataset.create(DIMS, layout=MAPPER_ORDER[0], drive="atlas10k3")
     print(f"dataset: {DIMS} cells, one 512-byte block per cell")
-    print(f"disk:    {atlas_10k3().name} (simulated)\n")
-
-    mappers = build_chunk_mappers(DIMS, atlas_10k3)
+    print(f"disk:    {base.volume.models[0].name} (simulated)\n")
 
     rows = []
-    for name, (mapper, volume) in mappers.items():
-        sm = StorageManager(volume)
+    for name in MAPPER_ORDER:
+        ds = base if name == base.layout else base.with_layout(name)
         row = [name]
-        for axis in range(3):
-            rng = np.random.default_rng(42 + axis)
-            vals = [
-                sm.beam(mapper, q.axis, q.fixed, rng=rng).ms_per_cell
-                for q in (random_beam(DIMS, axis, rng) for _ in range(5))
-            ]
-            row.append(f"{np.mean(vals):.3f}")
-        rng = np.random.default_rng(7)
-        q = random_range_cube(DIMS, 1.0, rng)
-        row.append(f"{sm.range(mapper, q.lo, q.hi, rng=rng).total_ms:.0f}")
+        for axis in range(len(DIMS)):
+            rng = np.random.default_rng(BEAM_SEED + axis)
+            report = ds.random_beams(axis, n=5).run(rng=rng)
+            row.append(f"{report.mean('ms_per_cell'):.3f}")
+        rng = np.random.default_rng(RANGE_SEED)
+        report = ds.range_selectivity(1.0).run(rng=rng)
+        row.append(f"{report.mean('total_ms'):.0f}")
         rows.append(row)
 
     print(render_table(

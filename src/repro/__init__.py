@@ -7,6 +7,20 @@ model of modern disks.
 
 Public surface
 --------------
+The :class:`Dataset` façade (re-exported from :mod:`repro.api`) is the
+entry point: it owns the drive/volume/mapper/storage-manager wiring,
+resolves layouts and drives by name through string-keyed registries, and
+runs fluent query batches into structured :class:`Report` objects::
+
+    from repro import Dataset
+
+    ds = Dataset.create((216, 64, 64), layout="multimap", drive="atlas10k3",
+                        seed=42)
+    print(ds.random_beams(axis=1, n=5).run().render_table())
+
+The layers underneath remain importable for direct use:
+
+``repro.api``       the façade, registries, query batches, reports
 ``repro.disk``      simulated drives, adjacency model, characterisation
 ``repro.lvm``       logical volumes and chunk declustering
 ``repro.mappings``  Naive / Z-order / Hilbert / Gray baselines
@@ -15,8 +29,47 @@ Public surface
 ``repro.datasets``  the paper's three evaluation datasets
 ``repro.analytic``  the expected-cost model
 ``repro.bench``     one regenerator per paper figure
+
+All façade attributes load lazily (PEP 562): ``import repro`` stays cheap.
 """
 
-__version__ = "1.0.0"
+from __future__ import annotations
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+#: single source of truth for the lazy public surface: name -> module
+_LAZY_EXPORTS = {
+    "DRIVES": "repro.api.registry",
+    "Dataset": "repro.api.dataset",
+    "LAYOUTS": "repro.api.registry",
+    "QueryBatch": "repro.api.dataset",
+    "QueryRecord": "repro.api.report",
+    "Report": "repro.api.report",
+    "drive_names": "repro.api.registry",
+    "get_drive": "repro.api.registry",
+    "get_layout": "repro.api.registry",
+    "layout_names": "repro.api.registry",
+    "register_drive": "repro.api.registry",
+    "register_layout": "repro.api.registry",
+    "BeamQuery": "repro.query.workload",
+    "RangeQuery": "repro.query.workload",
+    "QueryResult": "repro.query.executor",
+}
+
+__all__ = sorted([*_LAZY_EXPORTS, "__version__"])
+
+
+def __getattr__(name: str):
+    try:
+        module = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
+
+    return getattr(import_module(module), name)
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,426 @@
+"""The :class:`Dataset` façade — the package's single public entry point.
+
+One object owns the whole stack the paper layers behind its two
+interfaces (the LVM adjacency API of §3 and the database storage manager
+of §5.1): a simulated drive, a :class:`~repro.lvm.volume.LogicalVolume`,
+a registered layout's mapper, and a
+:class:`~repro.query.executor.StorageManager`::
+
+    from repro.api import Dataset
+
+    ds = Dataset.create((216, 64, 64), layout="multimap", drive="atlas10k3")
+    report = ds.random_beams(axis=1, n=5).run()
+    print(report.render_table())
+
+Layouts and drives resolve through :mod:`repro.api.registry`, and the
+wiring goes through the same :func:`~repro.api.registry.build_mapper`
+helper as :func:`repro.datasets.grid.build_chunk_mappers`, so a façade
+stack is bit-identical to a hand-wired one.  ``with_layout`` clones the
+dataset under another mapping on a fresh identical volume — the paper's
+fairness condition for layout comparisons.  Online updates (§4.6) are
+exposed through a lazily created :class:`~repro.core.store.CellStore`
+(``insert`` / ``delete`` / ``bulk_load`` / ``reorganize``).
+
+Determinism: ``Dataset.create(seed=...)`` owns a
+:class:`numpy.random.SeedSequence`; every ``run()`` without an explicit
+``rng`` draws the next spawned child generator, so repeated batches use
+independent streams while a fresh ``Dataset`` with the same seed replays
+the identical sequence (and a ``with_layout`` clone sees the same streams
+as its parent, keeping cross-layout comparisons fair).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.api.registry import DRIVES, LAYOUTS, DriveEntry, build_mapper
+from repro.api.report import Report, make_record
+from repro.core.store import CellStore, StoreStats
+from repro.disk.models import DiskModel
+from repro.errors import DatasetError, QueryError
+from repro.lvm.volume import LogicalVolume
+from repro.query.executor import QueryResult, StorageManager
+from repro.query.workload import (
+    BeamQuery,
+    RangeQuery,
+    random_beam,
+    random_range_cube,
+)
+
+__all__ = ["Dataset", "QueryBatch"]
+
+
+def _resolve_drive(drive) -> tuple[str, object]:
+    """Turn a drive spec (registry name, DiskModel, or factory) into a
+    ``(display_name, factory)`` pair."""
+    if isinstance(drive, tuple) and len(drive) == 2 and callable(drive[1]):
+        return str(drive[0]), drive[1]
+    if isinstance(drive, str):
+        entry: DriveEntry = DRIVES.get(drive)
+        return entry.name, entry.factory
+    if isinstance(drive, DiskModel):
+        return drive.name, lambda: drive
+    if callable(drive):
+        name = getattr(drive, "__name__", type(drive).__name__)
+        return name, drive
+    raise DatasetError(
+        f"drive must be a registered name, a DiskModel, or a factory; "
+        f"got {type(drive).__name__}"
+    )
+
+
+class QueryBatch:
+    """A fluent, appendable batch of queries bound to one dataset.
+
+    Entries may be concrete (:class:`BeamQuery` / :class:`RangeQuery`) or
+    *lazy* (random beams and random range cubes), in which case the query
+    is drawn from the run's generator immediately before execution — the
+    same interleaving as the paper's "averaged over runs at random
+    locations" methodology, and stream-compatible with hand-wired loops.
+    """
+
+    def __init__(self, dataset: Dataset):
+        self._dataset = dataset
+        self._entries: list[tuple] = []
+        self._repeats = 1
+
+    # ------------------------------------------------------------------
+    # builders (each returns self for chaining)
+    # ------------------------------------------------------------------
+
+    def beam(self, axis: int, fixed=None, lo: int = 0,
+             hi: int | None = None) -> "QueryBatch":
+        """Append a beam query; ``fixed=None`` draws a random position per
+        run (``lo``/``hi`` still bound the span along ``axis``)."""
+        if fixed is None:
+            self._entries.append(("random_beam", int(axis), lo, hi))
+        else:
+            self._entries.append(
+                ("query", BeamQuery(int(axis), tuple(fixed), lo, hi))
+            )
+        return self
+
+    def random_beams(self, axis: int, n: int = 5) -> "QueryBatch":
+        """Append ``n`` random full-length beams along ``axis``."""
+        if n < 1:
+            raise QueryError("n must be >= 1")
+        for _ in range(int(n)):
+            self._entries.append(("random_beam", int(axis), 0, None))
+        return self
+
+    def range(self, lo, hi) -> "QueryBatch":
+        """Append the half-open box ``[lo, hi)``."""
+        self._entries.append(
+            ("query", RangeQuery(tuple(lo), tuple(hi)))
+        )
+        return self
+
+    def range_selectivity(self, pct: float) -> "QueryBatch":
+        """Append a ~``pct``-% cube at a random anchor per run (§5.1)."""
+        if not 0 < pct <= 100:
+            raise QueryError("selectivity must be in (0, 100]")
+        self._entries.append(("random_range", float(pct)))
+        return self
+
+    def add(self, queries) -> "QueryBatch":
+        """Append pre-built workload query objects."""
+        if isinstance(queries, (BeamQuery, RangeQuery)):
+            queries = [queries]
+        for q in queries:
+            if not isinstance(q, (BeamQuery, RangeQuery)):
+                raise QueryError(
+                    f"unknown query type {type(q).__name__}"
+                )
+            self._entries.append(("query", q))
+        return self
+
+    def repeats(self, n: int) -> "QueryBatch":
+        """Execute the whole batch ``n`` times (lazy entries redraw)."""
+        if n < 1:
+            raise QueryError("repeats must be >= 1")
+        self._repeats = int(n)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def bound_to(self, dataset: "Dataset") -> "QueryBatch":
+        """A copy of this batch bound to another dataset (shapes must
+        match so every stored query stays in bounds)."""
+        if dataset.shape != self._dataset.shape:
+            raise QueryError(
+                f"batch built for shape {self._dataset.shape} cannot run "
+                f"on shape {dataset.shape}"
+            )
+        clone = QueryBatch(dataset)
+        clone._entries = list(self._entries)
+        clone._repeats = self._repeats
+        return clone
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, *, rng: np.random.Generator | None = None,
+            repeats: int | None = None) -> Report:
+        """Execute the batch and return a :class:`Report`.
+
+        Without ``rng``, the dataset's seed sequence provides the next
+        child generator.  One generator drives both lazy query positions
+        and the randomised initial head position of every execution.
+        """
+        ds = self._dataset
+        if rng is None:
+            rng = ds.rng()
+        n_rep = self._repeats if repeats is None else int(repeats)
+        if n_rep < 1:
+            raise QueryError("repeats must be >= 1")
+        records = []
+        for rep in range(n_rep):
+            for entry in self._entries:
+                kind = entry[0]
+                if kind == "query":
+                    q = entry[1]
+                elif kind == "random_beam":
+                    _, axis, lo, hi = entry
+                    q = random_beam(ds.shape, axis, rng)
+                    if lo != 0 or hi is not None:
+                        q = BeamQuery(q.axis, q.fixed, lo, hi)
+                else:  # random_range
+                    q = random_range_cube(ds.shape, entry[1], rng)
+                res = ds.storage.run_query(ds.mapper, q, rng=rng)
+                records.append(make_record(q, res, rep))
+        return Report(
+            records=tuple(records),
+            layout=ds.layout,
+            drive=ds.drive_name,
+            shape=ds.shape,
+            meta={"repeats": n_rep, "seed": ds.seed},
+        )
+
+
+class Dataset:
+    """A placed multidimensional dataset: drive + volume + mapper +
+    storage manager behind one object.  Use :meth:`create`."""
+
+    def __init__(self, *, shape, layout, drive, cell_blocks=1, depth=None,
+                 seed=None, window=128, sptf_run_limit=150_000,
+                 coalesce_gap_blocks=24, layout_opts=None):
+        self.shape = tuple(int(s) for s in shape)
+        self.layout = str(layout)
+        self.cell_blocks = int(cell_blocks)
+        self.depth = None if depth is None else int(depth)
+        self.seed = seed
+        self.layout_opts = dict(layout_opts or {})
+        self._sm_opts = {
+            "window": window,
+            "sptf_run_limit": sptf_run_limit,
+            "coalesce_gap_blocks": coalesce_gap_blocks,
+        }
+        self.drive_name, self._drive_factory = _resolve_drive(drive)
+        self._layout_entry = LAYOUTS.get(self.layout)
+
+        self.volume = LogicalVolume([self._drive_factory()],
+                                    depth=self.depth)
+        self.mapper = build_mapper(
+            self._layout_entry, self.shape, self.volume, 0,
+            cell_blocks=self.cell_blocks, **self.layout_opts,
+        )
+        self.storage = StorageManager(self.volume, **self._sm_opts)
+        self._seedseq = (
+            None if seed is None else np.random.SeedSequence(seed)
+        )
+        self._store: CellStore | None = None
+        self._store_opts: dict = {}
+
+    @classmethod
+    def create(cls, shape, layout: str = "multimap",
+               drive="atlas10k3", *, cell_blocks: int = 1,
+               depth: int | None = None, seed=None, window: int = 128,
+               sptf_run_limit: int = 150_000,
+               coalesce_gap_blocks: int = 24,
+               **layout_opts) -> "Dataset":
+        """Build the full stack for ``shape`` under a registered layout.
+
+        Parameters mirror the hand-wired idiom: ``depth`` pins the
+        adjacency depth D; the default ``None`` uses the drive's native
+        settle region, which is 128 on both paper drives — exactly the
+        value the paper's prototype pins — while small test/toy disks get
+        their own maximum instead of an out-of-range error.
+        ``cell_blocks`` is the LBNs per cell (§5.2 maps one cell to one
+        512-byte block), and ``**layout_opts`` pass through to the mapper
+        (e.g. MultiMap's ``strategy=`` / ``zones=``).
+        """
+        return cls(
+            shape=shape, layout=layout, drive=drive,
+            cell_blocks=cell_blocks, depth=depth, seed=seed,
+            window=window, sptf_run_limit=sptf_run_limit,
+            coalesce_gap_blocks=coalesce_gap_blocks,
+            layout_opts=layout_opts,
+        )
+
+    # ------------------------------------------------------------------
+    # cloning
+    # ------------------------------------------------------------------
+
+    def with_layout(self, layout: str, **layout_opts) -> "Dataset":
+        """The same dataset under another registered mapping.
+
+        A fresh, identical volume is built from the same drive factory so
+        both layouts occupy the same LBN region of identical disks — the
+        fairness condition of the paper's evaluation.  The clone carries
+        the parent's seed, so unseeded ``run()`` calls see the same
+        generator sequence on both objects, and the parent's
+        :meth:`configure_store` options, so update experiments stay
+        comparable (the store's *contents* are not copied — each layout
+        starts from the same empty placement).
+        """
+        clone = Dataset(
+            shape=self.shape, layout=layout,
+            drive=(self.drive_name, self._drive_factory),
+            cell_blocks=self.cell_blocks,
+            depth=self.depth, seed=self.seed, layout_opts=layout_opts,
+            **self._sm_opts,
+        )
+        clone._store_opts = dict(self._store_opts)
+        return clone
+
+    # ------------------------------------------------------------------
+    # fluent queries
+    # ------------------------------------------------------------------
+
+    def query(self) -> QueryBatch:
+        """An empty fluent batch bound to this dataset."""
+        return QueryBatch(self)
+
+    def beam(self, axis: int, fixed=None, lo: int = 0,
+             hi: int | None = None) -> QueryBatch:
+        return self.query().beam(axis, fixed, lo, hi)
+
+    def random_beams(self, axis: int, n: int = 5) -> QueryBatch:
+        return self.query().random_beams(axis, n)
+
+    def range(self, lo, hi) -> QueryBatch:
+        return self.query().range(lo, hi)
+
+    def range_selectivity(self, pct: float) -> QueryBatch:
+        return self.query().range_selectivity(pct)
+
+    def run(self, queries: Iterable | QueryBatch | None = None, *,
+            repeats: int | None = None,
+            rng: np.random.Generator | None = None) -> Report:
+        """Execute a batch (or pre-built workload queries) → Report.
+
+        ``repeats=None`` defers to the batch's own ``.repeats(n)`` setting
+        (1 when unset); an explicit value overrides it.  A batch built on
+        another dataset of the same shape is rebound to *this* dataset,
+        so ``clone.run(batch)`` times the clone's layout.
+        """
+        if isinstance(queries, QueryBatch):
+            if queries._dataset is not self:
+                queries = queries.bound_to(self)
+            return queries.run(rng=rng, repeats=repeats)
+        batch = self.query()
+        if queries is not None:
+            batch.add(queries)
+        return batch.run(rng=rng, repeats=repeats)
+
+    # ------------------------------------------------------------------
+    # updates (§4.6) — CellStore behind the same object
+    # ------------------------------------------------------------------
+
+    def configure_store(self, **store_opts) -> "Dataset":
+        """Set :class:`CellStore` options (``points_per_cell``,
+        ``fill_factor``, ``reclaim_threshold``, ``max_overflow_pages``)
+        before first use; returns ``self`` for chaining."""
+        if self._store is not None:
+            raise DatasetError("cell store already created")
+        self._store_opts = dict(store_opts)
+        return self
+
+    @property
+    def store(self) -> CellStore:
+        """The lazily created cell store (default options unless
+        :meth:`configure_store` ran first)."""
+        if self._store is None:
+            self._store = CellStore(
+                self.mapper, self.volume, **self._store_opts
+            )
+        return self._store
+
+    def bulk_load(self, coords, counts=None) -> int:
+        return self.store.bulk_load(coords, counts)
+
+    def insert(self, cell_coord, n: int = 1) -> str:
+        return self.store.insert(cell_coord, n)
+
+    def delete(self, cell_coord, n: int = 1) -> None:
+        self.store.delete(cell_coord, n)
+
+    @property
+    def needs_reorganization(self) -> bool:
+        return self.store.needs_reorganization
+
+    def reorganize(self) -> int:
+        return self.store.reorganize()
+
+    def store_stats(self) -> StoreStats:
+        return self.store.stats()
+
+    def read_cells(self, coords, *,
+                   rng: np.random.Generator | None = None) -> QueryResult:
+        """Fetch specific cells (including any overflow chains)."""
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.ndim == 1:
+            coords = coords[np.newaxis, :]
+        plan = self.store.read_plan(coords)
+        if rng is None:
+            rng = self.rng()
+        return self.storage.execute_plan(
+            self.mapper, plan, coords.shape[0], rng=rng
+        )
+
+    # ------------------------------------------------------------------
+    # seeding
+    # ------------------------------------------------------------------
+
+    def rng(self) -> np.random.Generator:
+        """The next child generator of this dataset's seed sequence.
+
+        Seeded datasets spawn children via ``SeedSequence.spawn`` — each
+        call yields an independent, reproducible stream; unseeded datasets
+        return fresh OS entropy.  Every ``run()`` without an explicit
+        ``rng=`` draws from here.
+        """
+        if self._seedseq is None:
+            return np.random.default_rng()
+        return np.random.default_rng(self._seedseq.spawn(1)[0])
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_cells(self) -> int:
+        return self.mapper.n_cells
+
+    def describe(self) -> dict:
+        """JSON-friendly summary of the wiring."""
+        return {
+            "shape": list(self.shape),
+            "layout": self.layout,
+            "layout_opts": dict(self.layout_opts),
+            "drive": self.drive_name,
+            "cell_blocks": self.cell_blocks,
+            "depth": self.depth,
+            "seed": self.seed,
+            "n_cells": self.n_cells,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataset(shape={self.shape}, layout={self.layout!r}, "
+            f"drive={self.drive_name!r})"
+        )

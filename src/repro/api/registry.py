@@ -1,0 +1,257 @@
+"""String-keyed registries for layouts and drive models.
+
+The façade (:mod:`repro.api.dataset`) and the chunk factory
+(:func:`repro.datasets.grid.build_chunk_mappers`) both resolve layout and
+drive names through the registries below, so every consumer constructs
+identical stacks.  Entries are contributed by the defining modules via
+decorators::
+
+    @register_layout("multimap", wiring="volume")
+    class MultiMapMapper(Mapper): ...
+
+    @register_drive("atlas10k3")
+    def atlas_10k3() -> DiskModel: ...
+
+``repro.mappings``, ``repro.core.multimap`` and ``repro.disk.models`` own
+their registrations; the registries import those modules lazily on first
+lookup so ``from repro.api import get_layout`` works without the caller
+importing anything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import RegistryError
+
+__all__ = [
+    "DRIVES",
+    "LAYOUTS",
+    "DriveEntry",
+    "LayoutEntry",
+    "Registry",
+    "build_mapper",
+    "drive_names",
+    "get_drive",
+    "get_layout",
+    "layout_names",
+    "register_drive",
+    "register_layout",
+]
+
+
+@dataclass(frozen=True)
+class LayoutEntry:
+    """A registered data-placement algorithm.
+
+    ``wiring`` names the construction convention: ``"extent"`` layouts take
+    a pre-allocated LBN extent (the linearised mappings), ``"volume"``
+    layouts allocate through the LVM interface themselves (MultiMap).
+    """
+
+    name: str
+    cls: type
+    wiring: str = "extent"
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class DriveEntry:
+    """A registered disk-model factory."""
+
+    name: str
+    factory: Callable[[], object] = field(repr=False)
+    description: str = ""
+
+
+class Registry:
+    """A string-keyed table with duplicate protection and helpful errors."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, object] = {}
+
+    def add(self, name: str, entry) -> None:
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"{self.kind} name must be a non-empty string")
+        if name in self._entries and not _same_registrant(
+            self._entries[name], entry
+        ):
+            raise RegistryError(
+                f"{self.kind} {name!r} is already registered"
+            )
+        # Same definition re-registering (its module re-executed, e.g. a
+        # retried import after an interrupted first attempt) is a benign
+        # overwrite, so registry population stays retryable.
+        self._entries[name] = entry
+
+    def get(self, name: str):
+        _ensure_populated()
+        try:
+            return self._entries[name]
+        except KeyError:
+            valid = ", ".join(repr(n) for n in sorted(self._entries))
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; registered {self.kind}s: "
+                f"{valid or '<none>'}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        _ensure_populated()
+        return tuple(sorted(self._entries))
+
+    def items(self):
+        _ensure_populated()
+        return tuple(sorted(self._entries.items()))
+
+    def __contains__(self, name: str) -> bool:
+        _ensure_populated()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        _ensure_populated()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {len(self._entries)} entries)"
+
+
+#: layout-name -> :class:`LayoutEntry`
+LAYOUTS = Registry("layout")
+
+#: drive-name -> :class:`DriveEntry`
+DRIVES = Registry("drive")
+
+_populated = False
+
+
+def _same_registrant(old, new) -> bool:
+    """Whether two entries come from the same definition (same module and
+    qualname of the registered class/factory) — i.e. the defining module
+    re-executed rather than a second party claiming the name."""
+
+    def key(entry):
+        obj = getattr(entry, "cls", None) or getattr(entry, "factory", None)
+        if obj is None:
+            return None
+        return (getattr(obj, "__module__", None),
+                getattr(obj, "__qualname__", None))
+
+    a, b = key(old), key(new)
+    return a is not None and a == b
+
+
+def _ensure_populated() -> None:
+    """Import the modules that own registrations, exactly once.
+
+    Reentrant calls (lookups issued while the imports below are still
+    running) see the flag already set and fall through; at that point the
+    decorators of the module being imported have already executed.  A
+    failed attempt (broken environment, Ctrl-C mid-import) resets the
+    flag so the next lookup retries and surfaces the real error instead
+    of a misleading "registered <kind>s: <none>"; modules that did
+    complete re-register idempotently (see :meth:`Registry.add`).
+    """
+    global _populated
+    if _populated:
+        return
+    _populated = True
+    try:
+        import repro.core.multimap  # noqa: F401  (registers "multimap")
+        import repro.disk.models  # noqa: F401  (registers drive factories)
+        import repro.mappings  # noqa: F401  (linearised layouts)
+    except BaseException:
+        _populated = False
+        raise
+
+
+def _ensure_builtins_before(obj) -> None:
+    """Populate the builtin entries before a *third-party* registration.
+
+    A user decorator whose name collides with a builtin then fails at its
+    own definition site with a clear duplicate error, instead of blowing
+    up the deferred builtin import inside an unrelated first lookup and
+    poisoning the registries.  Registrations coming from ``repro.*``
+    itself skip this — they *are* the population, and importing siblings
+    mid-import would create cycles.
+    """
+    if not getattr(obj, "__module__", "").startswith("repro."):
+        _ensure_populated()
+
+
+def _first_doc_line(obj) -> str:
+    lines = (obj.__doc__ or "").strip().splitlines()
+    return lines[0] if lines else ""
+
+
+def register_layout(name: str, *, wiring: str = "extent",
+                    description: str = ""):
+    """Class decorator adding a mapper class to :data:`LAYOUTS`."""
+    if wiring not in ("extent", "volume"):
+        raise RegistryError(f"unknown wiring {wiring!r}")
+
+    def deco(cls: type) -> type:
+        _ensure_builtins_before(cls)
+        desc = description or _first_doc_line(cls)
+        LAYOUTS.add(name, LayoutEntry(name, cls, wiring, desc))
+        return cls
+
+    return deco
+
+
+def register_drive(name: str, *, description: str = ""):
+    """Function decorator adding a disk-model factory to :data:`DRIVES`."""
+
+    def deco(factory):
+        _ensure_builtins_before(factory)
+        desc = description or _first_doc_line(factory)
+        DRIVES.add(name, DriveEntry(name, factory, desc))
+        return factory
+
+    return deco
+
+
+def get_layout(name: str) -> LayoutEntry:
+    """Resolve a layout name (raises :class:`RegistryError` with the list
+    of valid names on a miss)."""
+    return LAYOUTS.get(name)
+
+
+def get_drive(name: str) -> DriveEntry:
+    """Resolve a drive name."""
+    return DRIVES.get(name)
+
+
+def layout_names() -> tuple[str, ...]:
+    return LAYOUTS.names()
+
+
+def drive_names() -> tuple[str, ...]:
+    return DRIVES.names()
+
+
+def build_mapper(layout, dims, volume, disk: int = 0, *,
+                 cell_blocks: int = 1, **layout_opts):
+    """Construct a registered layout's mapper on ``volume``.
+
+    This is the single wiring point shared by :class:`repro.api.Dataset`
+    and :func:`repro.datasets.grid.build_chunk_mappers`, so both produce
+    bit-identical placements: ``"extent"`` layouts get one
+    ``allocate_blocks`` extent sized ``n_cells * cell_blocks``; ``"volume"``
+    layouts drive the LVM interface themselves.
+    """
+    import numpy as np
+
+    entry = layout if isinstance(layout, LayoutEntry) else LAYOUTS.get(layout)
+    dims = tuple(int(s) for s in dims)
+    if entry.wiring == "volume":
+        return entry.cls(
+            dims, volume, disk, cell_blocks=cell_blocks, **layout_opts
+        )
+    n_blocks = int(np.prod(dims, dtype=np.int64)) * cell_blocks
+    extent = volume.allocate_blocks(disk, n_blocks)
+    return entry.cls(dims, extent, cell_blocks, **layout_opts)

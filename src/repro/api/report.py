@@ -1,0 +1,164 @@
+"""Structured results for façade query batches.
+
+A :class:`Report` wraps the per-query :class:`~repro.query.QueryResult`
+records of one :meth:`repro.api.Dataset.run` call together with summary
+aggregates (mean / min / max / percentiles of total time and per-cell
+time), and renders itself through :mod:`repro.bench.reporting` so façade
+output matches the benchmark tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.bench.reporting import render_table
+from repro.query.executor import QueryResult
+from repro.query.workload import BeamQuery, RangeQuery
+
+__all__ = ["QueryRecord", "Report"]
+
+_PCTS = (50, 90, 95)
+
+
+def _describe(query) -> str:
+    if isinstance(query, BeamQuery):
+        return f"beam[axis={query.axis}]"
+    if isinstance(query, RangeQuery):
+        return f"range{tuple(query.shape)}"
+    return type(query).__name__
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One executed query: the query, its timing, and its repeat index."""
+
+    label: str
+    query: BeamQuery | RangeQuery
+    result: QueryResult
+    repeat: int = 0
+
+
+@dataclass(frozen=True)
+class Report:
+    """Results of one batch execution on one dataset."""
+
+    records: tuple[QueryRecord, ...]
+    layout: str = ""
+    drive: str = ""
+    shape: tuple[int, ...] = ()
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # record access
+    # ------------------------------------------------------------------
+
+    @property
+    def results(self) -> tuple[QueryResult, ...]:
+        return tuple(r.result for r in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+
+    def _values(self, attr: str) -> np.ndarray:
+        return np.asarray(
+            [getattr(r.result, attr) for r in self.records], dtype=np.float64
+        )
+
+    def mean(self, attr: str = "ms_per_cell") -> float:
+        """Mean of one :class:`QueryResult` attribute across the batch."""
+        vals = self._values(attr)
+        return float(vals.mean()) if vals.size else 0.0
+
+    def percentile(self, p: float, attr: str = "total_ms") -> float:
+        vals = self._values(attr)
+        return float(np.percentile(vals, p)) if vals.size else 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return float(self._values("total_ms").sum())
+
+    def aggregates(self) -> dict:
+        """Summary statistics over the batch (the "batch report")."""
+        out: dict = {"n_queries": len(self.records)}
+        for attr in ("total_ms", "ms_per_cell"):
+            vals = self._values(attr)
+            if not vals.size:
+                continue
+            stats = {
+                "mean": float(vals.mean()),
+                "min": float(vals.min()),
+                "max": float(vals.max()),
+            }
+            stats.update(
+                {f"p{p}": float(np.percentile(vals, p)) for p in _PCTS}
+            )
+            out[attr] = stats
+        return out
+
+    # ------------------------------------------------------------------
+    # serialisation / rendering
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "layout": self.layout,
+            "drive": self.drive,
+            "shape": list(self.shape),
+            "meta": dict(self.meta),
+            "aggregates": self.aggregates(),
+            "queries": [
+                {
+                    "label": r.label,
+                    "repeat": r.repeat,
+                    "query": asdict(r.query),
+                    "result": asdict(r.result),
+                }
+                for r in self.records
+            ],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def render_table(self) -> str:
+        """Paper-style fixed-width table of the per-query results."""
+        headers = ["query", "cells", "blocks", "runs", "total ms",
+                   "ms/cell", "policy"]
+        rows = [
+            [
+                r.label,
+                r.result.n_cells,
+                r.result.n_blocks,
+                r.result.n_runs,
+                f"{r.result.total_ms:.3f}",
+                f"{r.result.ms_per_cell:.4f}",
+                r.result.policy,
+            ]
+            for r in self.records
+        ]
+        return render_table(headers, rows)
+
+    def __str__(self) -> str:
+        title = f"[{self.layout} on {self.drive}] {self.shape}"
+        return f"{title}\n{self.render_table()}"
+
+
+def make_record(query, result: QueryResult, repeat: int = 0,
+                label: str | None = None) -> QueryRecord:
+    """Build a :class:`QueryRecord` with an auto-generated label."""
+    return QueryRecord(
+        label=label or _describe(query),
+        query=query,
+        result=result,
+        repeat=repeat,
+    )

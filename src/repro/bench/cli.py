@@ -1,9 +1,10 @@
-"""Command-line entry point: ``python -m repro.bench`` / ``multimap-bench``.
+"""Command-line entry point: ``python -m repro.bench`` / ``repro-bench``
+(also installed as ``multimap-bench``).
 
 Examples::
 
-    multimap-bench --scale small --figure fig6a
-    multimap-bench --scale paper --out results/
+    repro-bench --scale small --figure fig6a
+    repro-bench --scale paper --out results/
 """
 
 from __future__ import annotations

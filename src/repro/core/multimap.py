@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import register_layout
 from repro.core.planner import CubePlan, plan_basic_cube
 from repro.errors import MappingError
 from repro.lvm.volume import LogicalVolume
@@ -59,6 +60,7 @@ class ZoneAllocation:
     first_lbn: int           # start of the allocated, track-aligned extent
 
 
+@register_layout("multimap", wiring="volume")
 class MultiMapMapper(Mapper):
     """MultiMap data placement for one dataset chunk on one disk."""
 

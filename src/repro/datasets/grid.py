@@ -4,7 +4,10 @@ The synthetic evaluation dataset is a uniform 1024³ cell grid partitioned
 into chunks of at most 259³ cells, each chunk mapped to one disk of the
 volume.  This module provides the dataset descriptor, the chunker, and a
 factory that builds all four mappings for one chunk on a fresh volume so
-experiments compare layouts on identical storage.
+experiments compare layouts on identical storage.  Layout construction
+routes through the :mod:`repro.api.registry` registries — the same path
+the :class:`repro.api.Dataset` façade uses, which is the preferred entry
+point for new code.
 """
 
 from __future__ import annotations
@@ -13,11 +16,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.multimap import MultiMapMapper
-from repro.errors import DatasetError
+from repro.api.registry import LAYOUTS, build_mapper
+from repro.errors import DatasetError, RegistryError
 from repro.lvm.striping import assign_chunks
 from repro.lvm.volume import LogicalVolume
-from repro.mappings import GrayMapper, HilbertMapper, NaiveMapper, ZOrderMapper
 
 __all__ = [
     "Chunk",
@@ -118,29 +120,21 @@ def build_chunk_mappers(
 
     Each mapping gets a *fresh* volume built from ``model_factory`` so all
     four layouts occupy the same LBN region of identical disks — the
-    fairness condition of the paper's evaluation.
+    fairness condition of the paper's evaluation.  Layout names resolve
+    through :data:`repro.api.registry.LAYOUTS`, the same path the
+    :class:`repro.api.Dataset` façade wires through.
 
     Returns ``dict[name, (mapper, volume)]``.
     """
-    classes = {
-        "naive": NaiveMapper,
-        "zorder": ZOrderMapper,
-        "hilbert": HilbertMapper,
-        "gray": GrayMapper,
-        "multimap": MultiMapMapper,
-    }
-    n_cells = int(np.prod(chunk_dims, dtype=np.int64))
     out = {}
     for name in which:
-        if name not in classes:
-            raise DatasetError(f"unknown mapper {name!r}")
+        try:
+            entry = LAYOUTS.get(name)
+        except RegistryError as exc:
+            raise DatasetError(str(exc)) from exc
         volume = LogicalVolume([model_factory()], depth=depth)
-        if name == "multimap":
-            mapper = MultiMapMapper(
-                chunk_dims, volume, 0, cell_blocks=cell_blocks
-            )
-        else:
-            extent = volume.allocate_blocks(0, n_cells * cell_blocks)
-            mapper = classes[name](chunk_dims, extent, cell_blocks)
+        mapper = build_mapper(
+            entry, chunk_dims, volume, 0, cell_blocks=cell_blocks
+        )
         out[name] = (mapper, volume)
     return out

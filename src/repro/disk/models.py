@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.api.registry import register_drive
 from repro.disk.geometry import DiskGeometry
 from repro.disk.mechanics import DiskMechanics, SeekProfile
 
@@ -73,6 +74,7 @@ def _skew_fn(mechanics: DiskMechanics):
     return skew_for_spt
 
 
+@register_drive("atlas10k3")
 def atlas_10k3() -> DiskModel:
     """Approximation of the Maxtor Atlas 10k III (36.7 GB, 10k RPM).
 
@@ -93,6 +95,7 @@ def atlas_10k3() -> DiskModel:
     return DiskModel("Maxtor Atlas 10k III", geom, mech)
 
 
+@register_drive("cheetah36es")
 def cheetah_36es() -> DiskModel:
     """Approximation of the Seagate Cheetah 36ES (36.7 GB, 10k RPM).
 
@@ -114,6 +117,7 @@ def cheetah_36es() -> DiskModel:
     return DiskModel("Seagate Cheetah 36ES", geom, mech)
 
 
+@register_drive("toy")
 def toy_disk(
     sectors_per_track: int = 5,
     tracks: int = 40,

@@ -38,3 +38,8 @@ class QueryError(ReproError):
 
 class DatasetError(ReproError):
     """Raised by dataset generators for invalid parameters."""
+
+
+class RegistryError(ReproError):
+    """Raised by the :mod:`repro.api` registries for unknown or duplicate
+    layout/drive names."""

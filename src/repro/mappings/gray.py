@@ -9,12 +9,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_layout
 from repro.mappings import curves
 from repro.mappings.linear import CurveMapper
 
 __all__ = ["GrayMapper"]
 
 
+@register_layout("gray")
 class GrayMapper(CurveMapper):
     """Cells ordered along the binary-reflected Gray-code curve."""
 

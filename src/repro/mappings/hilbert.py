@@ -8,12 +8,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_layout
 from repro.mappings import curves
 from repro.mappings.linear import CurveMapper
 
 __all__ = ["HilbertMapper"]
 
 
+@register_layout("hilbert")
 class HilbertMapper(CurveMapper):
     """Cells ordered by Hilbert index, rank-compacted to consecutive LBNs."""
 

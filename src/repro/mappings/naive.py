@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_layout
 from repro.mappings.base import RequestPlan, enumerate_box
 from repro.mappings.linear import LinearMapper
 
 __all__ = ["NaiveMapper"]
 
 
+@register_layout("naive")
 class NaiveMapper(LinearMapper):
     """Row-major (Dim0-fastest) linearisation."""
 

@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_layout
 from repro.mappings import curves
 from repro.mappings.linear import CurveMapper
 
 __all__ = ["ZOrderMapper"]
 
 
+@register_layout("zorder")
 class ZOrderMapper(CurveMapper):
     """Cells ordered by Morton code, rank-compacted to consecutive LBNs."""
 

@@ -1,0 +1,103 @@
+"""Report structure: aggregates, JSON round-trips, table rendering."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Dataset
+from repro.api.report import Report, make_record
+from repro.query import BeamQuery, QueryResult, RangeQuery
+
+DIMS = (16, 8, 8)
+
+
+def _result(total_ms=10.0, n_cells=5, policy="sorted"):
+    return QueryResult(
+        mapper="naive", total_ms=total_ms, n_cells=n_cells, n_blocks=5,
+        n_runs=5, seek_ms=2.0, rotation_ms=3.0, transfer_ms=4.0,
+        switch_ms=1.0, policy=policy,
+    )
+
+
+def _report(values=(10.0, 20.0, 30.0)):
+    records = tuple(
+        make_record(BeamQuery(axis=0, fixed=(0, 1, 1)), _result(v), rep)
+        for rep, v in enumerate(values)
+    )
+    return Report(records=records, layout="naive", drive="toy",
+                  shape=DIMS)
+
+
+class TestAggregates:
+    def test_mean_and_percentiles(self):
+        rep = _report((10.0, 20.0, 30.0))
+        assert rep.mean("total_ms") == pytest.approx(20.0)
+        assert rep.percentile(50, "total_ms") == pytest.approx(20.0)
+        assert rep.total_ms == pytest.approx(60.0)
+        agg = rep.aggregates()
+        assert agg["n_queries"] == 3
+        assert agg["total_ms"]["min"] == 10.0
+        assert agg["total_ms"]["max"] == 30.0
+        assert agg["total_ms"]["p50"] == 20.0
+        assert "ms_per_cell" in agg
+
+    def test_empty_report(self):
+        rep = Report(records=())
+        assert rep.mean() == 0.0
+        assert rep.percentile(95) == 0.0
+        assert rep.total_ms == 0.0
+        assert rep.aggregates() == {"n_queries": 0}
+        assert len(rep) == 0
+
+    def test_mean_default_is_ms_per_cell(self):
+        rep = _report((10.0,))
+        assert rep.mean() == pytest.approx(10.0 / 5)
+
+
+class TestSerialisation:
+    def test_to_json_round_trip(self):
+        rep = _report()
+        data = json.loads(rep.to_json())
+        assert data["layout"] == "naive"
+        assert data["drive"] == "toy"
+        assert data["shape"] == list(DIMS)
+        assert len(data["queries"]) == 3
+        q0 = data["queries"][0]
+        assert q0["label"] == "beam[axis=0]"
+        assert q0["result"]["total_ms"] == 10.0
+        assert data["aggregates"]["total_ms"]["mean"] == 20.0
+
+    def test_labels_describe_queries(self):
+        beam = make_record(BeamQuery(axis=2, fixed=(1, 1, 0)), _result())
+        box = make_record(RangeQuery((0, 0, 0), (4, 2, 2)), _result())
+        assert beam.label == "beam[axis=2]"
+        assert box.label == "range(4, 2, 2)"
+
+    def test_render_table_contains_rows(self):
+        rep = _report()
+        table = rep.render_table()
+        assert "total ms" in table
+        assert "beam[axis=0]" in table
+        assert "10.000" in table
+        assert str(rep).startswith("[naive on toy]")
+
+
+class TestEndToEnd:
+    def test_real_batch_report(self, small_model):
+        ds = Dataset.create(DIMS, layout="multimap", drive=small_model,
+                            depth=16, seed=8)
+        rep = ds.random_beams(1, n=2).range_selectivity(10.0).run()
+        assert len(rep) == 3
+        assert rep.mean("total_ms") > 0
+        parsed = json.loads(rep.to_json())
+        assert parsed["aggregates"]["n_queries"] == 3
+        assert all(r.result.total_ms > 0 for r in rep)
+        # iteration yields records in execution order
+        assert [r.repeat for r in rep] == [0, 0, 0]
+
+    def test_results_property_matches_records(self, small_model):
+        ds = Dataset.create(DIMS, layout="naive", drive=small_model,
+                            depth=16, seed=8)
+        rep = ds.beam(0, fixed=(0, 3, 3)).run(repeats=2)
+        assert rep.results == tuple(r.result for r in rep.records)
