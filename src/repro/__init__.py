@@ -26,6 +26,7 @@ The layers underneath remain importable for direct use:
 ``repro.mappings``  Naive / Z-order / Hilbert / Gray baselines
 ``repro.core``      MultiMap itself: basic cubes, planner, mapper
 ``repro.query``     beam and range queries, storage manager
+``repro.traffic``   concurrent multi-client traffic simulation
 ``repro.datasets``  the paper's three evaluation datasets
 ``repro.analytic``  the expected-cost model
 ``repro.bench``     one regenerator per paper figure
@@ -54,6 +55,8 @@ _LAZY_EXPORTS = {
     "BeamQuery": "repro.query.workload",
     "RangeQuery": "repro.query.workload",
     "QueryResult": "repro.query.executor",
+    "TrafficRun": "repro.api.traffic",
+    "TrafficReport": "repro.traffic.stats",
 }
 
 __all__ = sorted([*_LAZY_EXPORTS, "__version__"])

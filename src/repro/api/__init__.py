@@ -33,6 +33,8 @@ _LAZY_EXPORTS = {
     "QueryBatch": "repro.api.dataset",
     "QueryRecord": "repro.api.report",
     "Report": "repro.api.report",
+    "TrafficRun": "repro.api.traffic",
+    "TrafficReport": "repro.traffic.stats",
 }
 
 __all__ = sorted(_LAZY_EXPORTS)

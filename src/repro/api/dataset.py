@@ -308,6 +308,14 @@ class Dataset:
     def range_selectivity(self, pct: float) -> QueryBatch:
         return self.query().range_selectivity(pct)
 
+    def traffic(self) -> "TrafficRun":
+        """An empty fluent traffic run bound to this dataset (the
+        concurrent analogue of :meth:`query`); see
+        :class:`repro.api.traffic.TrafficRun`."""
+        from repro.api.traffic import TrafficRun
+
+        return TrafficRun(self)
+
     def run(self, queries: Iterable | QueryBatch | None = None, *,
             repeats: int | None = None,
             rng: np.random.Generator | None = None) -> Report:

@@ -1,26 +1,151 @@
 """Command-line entry point: ``python -m repro.bench`` / ``repro-bench``
 (also installed as ``multimap-bench``).
 
+Two modes: the default regenerates paper figures, and the ``traffic``
+subcommand runs the multi-client traffic storm
+(:func:`repro.traffic.storm.run_storm`).
+
 Examples::
 
     repro-bench --scale small --figure fig6a
     repro-bench --scale paper --out results/
+    repro-bench traffic --shape 64,64,32 --clients 1,2,4 --queries 10
+    repro-bench traffic --arrival poisson --rate 50 --out results/storm.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+from pathlib import Path
 
 from repro.bench.harness import FIGURES, run_all
 
 __all__ = ["main"]
 
 
+def _csv_ints(text: str) -> tuple[int, ...]:
+    return tuple(int(v) for v in text.split(",") if v)
+
+
+def _csv_strs(text: str) -> tuple[str, ...]:
+    return tuple(v.strip() for v in text.split(",") if v.strip())
+
+
+def _parse_mix(text: str):
+    """``beam:1,beam:2,range:1.0`` -> :class:`QueryMix`."""
+    from repro.traffic import BeamDraw, QueryMix, RangeDraw
+
+    parts = []
+    for item in _csv_strs(text):
+        kind, _, arg = item.partition(":")
+        try:
+            if kind == "beam":
+                parts.append(BeamDraw(int(arg)))
+            elif kind == "range":
+                parts.append(RangeDraw(float(arg)))
+            else:
+                raise ValueError(kind)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"mix parts are beam:<axis> or range:<pct>; got {item!r}"
+            ) from None
+    if not parts:
+        raise argparse.ArgumentTypeError(
+            "mix needs at least one beam:<axis> or range:<pct> part"
+        )
+    return QueryMix(parts)
+
+
+def _traffic_main(args) -> int:
+    from repro.traffic import (
+        BurstyArrivals,
+        ClosedLoop,
+        PoissonArrivals,
+        render_storm,
+        run_storm,
+    )
+
+    if args.arrival == "closed":
+        arrival = ClosedLoop(think_ms=args.think_ms)
+    elif args.arrival == "poisson":
+        arrival = PoissonArrivals(rate_qps=args.rate)
+    else:
+        arrival = BurstyArrivals(burst_rate_per_s=args.rate)
+    data = run_storm(
+        _csv_ints(args.shape),
+        layouts=_csv_strs(args.layouts),
+        client_counts=_csv_ints(args.clients),
+        drive=args.drive,
+        queries_per_client=args.queries,
+        mix=args.mix,
+        arrival=arrival,
+        seed=args.seed,
+        slice_runs=args.slice_runs if args.slice_runs > 0 else None,
+        head=args.head,
+    )
+    if not args.quiet:
+        print(render_storm(data))
+    if args.out:
+        path = Path(args.out)
+        if path.suffix != ".json":
+            path.mkdir(parents=True, exist_ok=True)
+            path = path / "traffic.json"
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(data, indent=2, default=str))
+        if not args.quiet:
+            print(f"\nsaved {path}")
+    return 0
+
+
+def _add_traffic_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "traffic",
+        help="multi-client traffic storm across layouts",
+        description="Sweep layouts x client counts under a seeded "
+        "concurrent workload and report throughput and latency "
+        "percentiles per mapping.",
+    )
+    p.add_argument("--shape", default="64,64,32",
+                   help="dataset dims, comma-separated (default 64,64,32)")
+    p.add_argument("--layouts", default="naive,zorder,hilbert,multimap",
+                   help="comma-separated registered layouts")
+    p.add_argument("--clients", default="1,2,4,8",
+                   help="comma-separated client counts to sweep")
+    p.add_argument("--queries", type=int, default=20,
+                   help="queries per client (default 20)")
+    p.add_argument("--mix", default=None, type=_parse_mix,
+                   help="query mix, e.g. 'beam:1,beam:2,range:1.0' "
+                   "(default: beams over axes 1..n-1)")
+    p.add_argument("--arrival", choices=("closed", "poisson", "bursty"),
+                   default="closed", help="arrival model (default closed)")
+    p.add_argument("--think-ms", type=float, default=0.0,
+                   help="closed-loop think time in ms")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="per-client rate for poisson (q/s) or bursty "
+                   "(bursts/s)")
+    p.add_argument("--drive", default="atlas10k3",
+                   help="registered drive model (default atlas10k3)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="base seed; every client stream derives from it")
+    p.add_argument("--slice-runs", type=int, default=64,
+                   help="runs per service slice; 0 = whole query per "
+                   "batch (default 64)")
+    p.add_argument("--head", choices=("random", "carry"), default="random",
+                   help="per-query random head position or carry-over")
+    p.add_argument("--out", default=None,
+                   help="JSON output file (or directory)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress table output")
+    p.set_defaults(func=_traffic_main)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="multimap-bench",
         description="Regenerate the MultiMap paper's figures on the "
-        "simulated disks.",
+        "simulated disks, or run the traffic simulator.",
     )
     parser.add_argument(
         "--scale",
@@ -40,7 +165,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress table output"
     )
+    subparsers = parser.add_subparsers(dest="command")
+    _add_traffic_parser(subparsers)
     args = parser.parse_args(argv)
+    if args.command is not None:
+        return args.func(args)
     run_all(
         scale_name=args.scale,
         out_dir=args.out,

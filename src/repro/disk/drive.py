@@ -215,10 +215,33 @@ class DiskDrive:
         self._track = track
         self._time_ms = float(time_ms)
 
+    def draw_position(self, rng: np.random.Generator) -> tuple[int, float]:
+        """Draw a uniformly random ``(track, time_ms)`` head position.
+
+        Consumes exactly the draws :meth:`randomize_position` would, so a
+        position can be drawn early (e.g. when a traffic client submits a
+        query) and applied later with :meth:`reset` without perturbing the
+        caller's random stream.
+        """
+        return (
+            int(rng.integers(self.geometry.n_tracks)),
+            float(rng.uniform(0.0, self._rot)),
+        )
+
     def randomize_position(self, rng: np.random.Generator) -> None:
         """Place the head at a uniformly random track and rotation phase."""
-        self._track = int(rng.integers(self.geometry.n_tracks))
-        self._time_ms = float(rng.uniform(0.0, self._rot))
+        self._track, self._time_ms = self.draw_position(rng)
+
+    def advance_clock(self, t_ms: float) -> None:
+        """Advance the clock to ``t_ms`` without moving the head.
+
+        Models the platter spinning while the drive sits idle between
+        requests (the traffic simulator calls this when dispatching to an
+        idle drive, so the rotational phase reflects the wait).  Clocks
+        never move backwards; a ``t_ms`` at or before *now* is a no-op.
+        """
+        if t_ms > self._time_ms:
+            self._time_ms = float(t_ms)
 
     def head_angle(self, t_ms: float | None = None) -> float:
         """Platter angle under the head at time ``t`` (revolutions)."""

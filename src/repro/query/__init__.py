@@ -1,7 +1,12 @@
 """Query workloads and the storage manager that executes them."""
 
-from repro.query.executor import QueryResult, StorageManager
-from repro.query.scheduler import coalesce_lbns, effective_policy, merge_plan_runs
+from repro.query.executor import PreparedQuery, QueryResult, StorageManager
+from repro.query.scheduler import (
+    coalesce_lbns,
+    effective_policy,
+    merge_plan_runs,
+    slice_plan,
+)
 from repro.query.workload import (
     BeamQuery,
     RangeQuery,
@@ -12,6 +17,7 @@ from repro.query.workload import (
 
 __all__ = [
     "BeamQuery",
+    "PreparedQuery",
     "QueryResult",
     "RangeQuery",
     "StorageManager",
@@ -21,4 +27,5 @@ __all__ = [
     "random_beam",
     "random_range_cube",
     "range_for_selectivity",
+    "slice_plan",
 ]

@@ -20,7 +20,36 @@ from repro.mappings.base import Mapper, RequestPlan
 from repro.query.scheduler import effective_policy, merge_plan_runs
 from repro.query.workload import BeamQuery, RangeQuery
 
-__all__ = ["QueryResult", "StorageManager"]
+__all__ = ["PreparedQuery", "QueryResult", "StorageManager"]
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A query after issue-order preparation, ready to be serviced.
+
+    The plan has already been coalesced (for ``"sorted"``/``"sptf"``
+    batches) and ``policy`` is the *effective* policy after the SPTF batch
+    clamp — servicing ``plan`` under ``policy`` is exactly what
+    :meth:`StorageManager.execute_plan` would do.  Keeping this stage
+    separate lets the traffic simulator split the plan into service slices
+    (:func:`repro.query.scheduler.slice_plan`) and interleave slices from
+    different clients at the drive, resuming the drive position between
+    them.
+    """
+
+    mapper_name: str
+    disk_index: int
+    plan: RequestPlan
+    policy: str
+    n_cells: int
+
+    @property
+    def n_runs(self) -> int:
+        return self.plan.n_runs
+
+    @property
+    def n_blocks(self) -> int:
+        return self.plan.n_blocks
 
 
 @dataclass(frozen=True)
@@ -78,6 +107,70 @@ class StorageManager:
     # plan execution
     # ------------------------------------------------------------------
 
+    def prepare_plan(
+        self, mapper: Mapper, plan: RequestPlan, n_cells: int
+    ) -> PreparedQuery:
+        """Apply the issue-order conventions of §5.2 without servicing.
+
+        Coalesces nearby runs of sortable batches and resolves the
+        effective scheduling policy; the result can be serviced in one
+        batch (:meth:`execute_prepared`) or split into slices by the
+        traffic simulator.
+        """
+        if plan.policy in ("sorted", "sptf"):
+            gap = plan.merge_gap
+            if gap is None:
+                gap = self.coalesce_gap_blocks
+            plan = merge_plan_runs(plan, gap)
+        policy = effective_policy(plan, self.sptf_run_limit)
+        return PreparedQuery(
+            mapper_name=mapper.name,
+            disk_index=mapper.disk_index,
+            plan=plan,
+            policy=policy,
+            n_cells=int(n_cells),
+        )
+
+    def prepare(self, mapper: Mapper, query) -> PreparedQuery:
+        """Plan and prepare a :class:`BeamQuery` / :class:`RangeQuery`."""
+        if isinstance(query, BeamQuery):
+            plan = mapper.beam_plan(query.axis, query.fixed, query.lo,
+                                    query.hi)
+            return self.prepare_plan(mapper, plan, query.n_cells(mapper.dims))
+        if isinstance(query, RangeQuery):
+            plan = mapper.range_plan(query.lo, query.hi)
+            return self.prepare_plan(mapper, plan, query.n_cells())
+        raise QueryError(f"unknown query type {type(query).__name__}")
+
+    def execute_prepared(
+        self,
+        prepared: PreparedQuery,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> QueryResult:
+        """Service a prepared query in one batch on its disk."""
+        drive = self.volume.drive(prepared.disk_index)
+        if rng is not None:
+            drive.randomize_position(rng)
+        res: BatchResult = drive.service_runs(
+            prepared.plan.starts,
+            prepared.plan.lengths,
+            policy=prepared.policy,
+            window=self.window,
+        )
+        return QueryResult(
+            mapper=prepared.mapper_name,
+            total_ms=res.total_ms,
+            n_cells=prepared.n_cells,
+            n_blocks=res.n_blocks,
+            n_runs=res.n_requests,
+            seek_ms=res.seek_ms,
+            rotation_ms=res.rotation_ms,
+            transfer_ms=res.transfer_ms,
+            switch_ms=res.switch_ms,
+            policy=prepared.policy,
+        )
+
     def execute_plan(
         self,
         mapper: Mapper,
@@ -87,30 +180,8 @@ class StorageManager:
         rng: np.random.Generator | None = None,
     ) -> QueryResult:
         """Service a prepared plan on the mapper's disk."""
-        drive = self.volume.drive(mapper.disk_index)
-        if rng is not None:
-            drive.randomize_position(rng)
-        if plan.policy in ("sorted", "sptf"):
-            gap = plan.merge_gap
-            if gap is None:
-                gap = self.coalesce_gap_blocks
-            plan = merge_plan_runs(plan, gap)
-        policy = effective_policy(plan, self.sptf_run_limit)
-        res: BatchResult = drive.service_runs(
-            plan.starts, plan.lengths, policy=policy, window=self.window
-        )
-        return QueryResult(
-            mapper=mapper.name,
-            total_ms=res.total_ms,
-            n_cells=n_cells,
-            n_blocks=res.n_blocks,
-            n_runs=res.n_requests,
-            seek_ms=res.seek_ms,
-            rotation_ms=res.rotation_ms,
-            transfer_ms=res.transfer_ms,
-            switch_ms=res.switch_ms,
-            policy=policy,
-        )
+        prepared = self.prepare_plan(mapper, plan, n_cells)
+        return self.execute_prepared(prepared, rng=rng)
 
     # ------------------------------------------------------------------
     # query entry points

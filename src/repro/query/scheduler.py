@@ -16,7 +16,12 @@ import numpy as np
 
 from repro.mappings.base import RequestPlan, coalesce_ranks
 
-__all__ = ["coalesce_lbns", "merge_plan_runs", "effective_policy"]
+__all__ = [
+    "coalesce_lbns",
+    "merge_plan_runs",
+    "effective_policy",
+    "slice_plan",
+]
 
 #: beyond this many runs, SPTF batches degrade to an elevator pass
 SPTF_RUN_LIMIT = 20_000
@@ -62,3 +67,33 @@ def effective_policy(plan: RequestPlan, limit: int = SPTF_RUN_LIMIT) -> str:
     if plan.policy == "sptf" and plan.n_runs > limit:
         return "sorted"
     return plan.policy
+
+
+def slice_plan(plan: RequestPlan, max_runs: int | None) -> list[RequestPlan]:
+    """Split a prepared plan into consecutive service slices.
+
+    Slices are the scheduling unit of the traffic simulator: a drive
+    services one slice at a time and requests from other clients may be
+    interleaved between a query's slices, resuming from wherever the head
+    ended up.  The split preserves run order, so for ``"fifo"``/``"sorted"``
+    plans (whose merged runs are already in issue order) servicing the
+    slices back-to-back is timing-identical to servicing the whole plan in
+    one batch.  ``"sptf"`` slices clamp the drive's lookahead window to the
+    slice, modelling a command queue that only holds admitted requests.
+
+    ``max_runs=None`` (or a plan no larger than ``max_runs``) yields the
+    plan unsplit.
+    """
+    if max_runs is None or plan.n_runs <= max_runs:
+        return [plan]
+    if max_runs < 1:
+        raise ValueError("max_runs must be >= 1")
+    return [
+        RequestPlan(
+            plan.starts[i:i + max_runs],
+            plan.lengths[i:i + max_runs],
+            policy=plan.policy,
+            merge_gap=plan.merge_gap,
+        )
+        for i in range(0, plan.n_runs, max_runs)
+    ]

@@ -1,0 +1,317 @@
+"""Discrete-event engine servicing many clients on shared drives.
+
+The simulation advances through a single event heap keyed on simulated
+milliseconds.  Clients submit queries according to their arrival process;
+each query is prepared once by its client's :class:`StorageManager`
+(coalescing + effective policy, exactly the one-shot path) and split into
+*service slices* (:func:`repro.query.scheduler.slice_plan`).  Every drive
+services one slice at a time from a FIFO queue, and a multi-slice query
+re-enters the queue behind whatever arrived meanwhile — so requests from
+different clients interleave at the drive rather than running whole
+queries back-to-back, and a query's later slices resume from wherever
+the contending traffic left the head.
+
+Head position (``TrafficConfig.head``):
+
+* ``"random"`` — every query starts from a uniformly random head
+  position *pre-drawn from the submitting client's stream at submission
+  time* and applied when its first slice is dispatched.  Pre-drawing
+  keeps each client's random stream a pure function of its own
+  submission order, so per-drive served-block totals are invariant
+  under re-interleavings, while a lone zero-think closed-loop client
+  consumes draws in exactly the order of
+  :meth:`repro.api.QueryBatch.run` (query, head, query, head, ...) —
+  the parity the regression tests pin.
+* ``"carry"`` — the head stays wherever the previous request left it;
+  idle gaps advance the drive clock (:meth:`DiskDrive.advance_clock`)
+  so the platter keeps rotating while the queue is empty.
+
+Determinism: no wall-clock, no hash-order iteration; ties in the event
+heap break by submission sequence number.  Same clients + same seeds
+⇒ bit-identical :class:`TrafficReport`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+from repro.disk.drive import BatchResult, DiskDrive
+from repro.errors import QueryError
+from repro.query.executor import PreparedQuery
+from repro.query.scheduler import slice_plan
+from repro.traffic.clients import TrafficClient
+from repro.traffic.stats import (
+    DriveStats,
+    QueryTrace,
+    TrafficReport,
+    describe_query,
+)
+
+__all__ = ["TrafficConfig", "TrafficSim"]
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Knobs of the traffic engine.
+
+    ``slice_runs`` bounds how many runs of one query the drive services
+    before other queued requests may cut in; ``None`` services each
+    query as one batch (the one-shot executor's behaviour, required for
+    exact parity with :class:`StorageManager` timings).  ``horizon_ms``
+    stops open-loop clients from *submitting* past the horizon (queries
+    already submitted still finish).
+    """
+
+    slice_runs: int | None = 256
+    head: str = "random"
+    horizon_ms: float | None = None
+    collect_traces: bool = True
+
+    def __post_init__(self) -> None:
+        if self.head not in ("random", "carry"):
+            raise QueryError(f"unknown head mode {self.head!r}")
+        if self.slice_runs is not None and self.slice_runs < 1:
+            raise QueryError("slice_runs must be >= 1 or None")
+
+    def describe(self) -> dict:
+        return {
+            "slice_runs": self.slice_runs,
+            "head": self.head,
+            "horizon_ms": self.horizon_ms,
+        }
+
+
+class _Job:
+    """One submitted query moving through the drive queue."""
+
+    __slots__ = ("cs", "query", "prepared", "slices", "next_slice",
+                 "arrival_ms", "start_ms", "head_pos", "acc", "index")
+
+    def __init__(self, cs, query, prepared, slices, arrival_ms,
+                 head_pos, index):
+        self.cs = cs
+        self.query = query
+        self.prepared: PreparedQuery = prepared
+        self.slices = slices
+        self.next_slice = 0
+        self.arrival_ms = arrival_ms
+        self.start_ms = arrival_ms
+        self.head_pos = head_pos
+        self.acc: BatchResult = BatchResult.empty()
+        self.index = index
+
+
+class _DriveState:
+    """Per-drive FIFO queue plus servicing bookkeeping."""
+
+    __slots__ = ("drive", "disk", "queue", "busy", "busy_ms",
+                 "served_slices", "served_blocks")
+
+    def __init__(self, drive: DiskDrive, disk: int):
+        self.drive = drive
+        self.disk = disk
+        self.queue: deque[_Job] = deque()
+        self.busy = False
+        self.busy_ms = 0.0
+        self.served_slices = 0
+        self.served_blocks = 0
+
+
+class _ClientState:
+    """Mutable per-run bookkeeping for one client."""
+
+    __slots__ = ("client", "issued", "completed", "stream", "stopped")
+
+    def __init__(self, client: TrafficClient):
+        self.client = client
+        self.issued = 0
+        self.completed = 0
+        self.stream = None  # open-loop arrival iterator
+        self.stopped = False  # open-loop horizon reached
+
+
+class TrafficSim:
+    """Run a set of :class:`TrafficClient` s to completion.
+
+    Drives are discovered from each client's storage manager, so clients
+    of different datasets contend exactly when their mappers live on the
+    same :class:`DiskDrive` object (e.g. two layouts sharing one
+    :class:`LogicalVolume`).
+    """
+
+    def __init__(self, clients, config: TrafficConfig | None = None,
+                 meta: dict | None = None):
+        self.clients = list(clients)
+        if not self.clients:
+            raise QueryError("traffic needs at least one client")
+        names = [c.name for c in self.clients]
+        if len(set(names)) != len(names):
+            raise QueryError("client names must be unique")
+        self.config = config or TrafficConfig()
+        self.meta = dict(meta or {})
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> TrafficReport:
+        cfg = self.config
+        heap: list[tuple] = []
+        seq = 0
+        drives: dict[int, _DriveState] = {}
+        drive_order: list[int] = []
+        traces: list[QueryTrace] = []
+        states = [_ClientState(c) for c in self.clients]
+
+        def drive_state(cs: _ClientState) -> _DriveState:
+            drive = cs.client.storage.volume.drive(
+                cs.client.mapper.disk_index
+            )
+            key = id(drive)
+            ds = drives.get(key)
+            if ds is None:
+                ds = _DriveState(drive, cs.client.mapper.disk_index)
+                drives[key] = ds
+                drive_order.append(key)
+            return ds
+
+        def push(t: float, kind: str, payload) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (t, seq, kind, payload))
+            seq += 1
+
+        def submit(cs: _ClientState, t: float) -> None:
+            """Draw, prepare, and enqueue one query of ``cs`` at ``t``."""
+            c = cs.client
+            query = c.mix.draw(c.mapper.dims, c.rng, cs.issued)
+            prepared = c.storage.prepare(c.mapper, query)
+            ds = drive_state(cs)
+            head_pos = (
+                ds.drive.draw_position(c.rng)
+                if cfg.head == "random" else None
+            )
+            job = _Job(cs, query, prepared,
+                       slice_plan(prepared.plan, cfg.slice_runs),
+                       t, head_pos, cs.issued)
+            cs.issued += 1
+            ds.queue.append(job)
+            maybe_start(ds, t)
+
+        def schedule_next_open(cs: _ClientState) -> None:
+            if cs.stopped or cs.issued >= cs.client.n_queries:
+                return
+            t_next = next(cs.stream)
+            if cfg.horizon_ms is not None and t_next > cfg.horizon_ms:
+                cs.stopped = True
+                return
+            push(t_next, "arrive", cs)
+
+        def maybe_start(ds: _DriveState, t: float) -> None:
+            if ds.busy or not ds.queue:
+                return
+            job = ds.queue.popleft()
+            ds.busy = True
+            drive = ds.drive
+            if cfg.head == "carry":
+                drive.advance_clock(t)
+            if job.next_slice == 0:
+                job.start_ms = t
+                if job.head_pos is not None:
+                    drive.reset(*job.head_pos)
+            sl = job.slices[job.next_slice]
+            job.next_slice += 1
+            res = drive.service_runs(
+                sl.starts, sl.lengths,
+                policy=job.prepared.policy,
+                window=job.cs.client.storage.window,
+            )
+            job.acc = job.acc + res
+            ds.busy_ms += res.total_ms
+            ds.served_slices += 1
+            ds.served_blocks += res.n_blocks
+            push(t + res.total_ms, "slice_done", (ds, job))
+
+        # -- seed initial arrivals (client list order) ------------------
+        for cs in states:
+            arrival = cs.client.arrival
+            if arrival.closed:
+                push(arrival.first_arrival(), "arrive", cs)
+            else:
+                cs.stream = arrival.arrivals(cs.client.rng)
+                schedule_next_open(cs)
+
+        makespan = 0.0
+        while heap:
+            t, _, kind, payload = heapq.heappop(heap)
+            if kind == "arrive":
+                cs = payload
+                if cs.issued >= cs.client.n_queries:
+                    continue
+                # open-loop: keep the stream flowing independently
+                if not cs.client.arrival.closed:
+                    submit(cs, t)
+                    schedule_next_open(cs)
+                else:
+                    submit(cs, t)
+            else:  # slice_done
+                ds, job = payload
+                ds.busy = False
+                if job.next_slice < len(job.slices):
+                    ds.queue.append(job)
+                else:
+                    cs = job.cs
+                    cs.completed += 1
+                    makespan = max(makespan, t)
+                    if cfg.collect_traces:
+                        traces.append(self._trace(job, ds.disk, t))
+                    arrival = cs.client.arrival
+                    if (arrival.closed
+                            and cs.issued < cs.client.n_queries):
+                        push(arrival.next_after_completion(t),
+                             "arrive", cs)
+                maybe_start(ds, t)
+
+        drive_stats = tuple(
+            DriveStats(
+                disk=drives[k].disk,
+                busy_ms=drives[k].busy_ms,
+                served_slices=drives[k].served_slices,
+                served_blocks=drives[k].served_blocks,
+            )
+            for k in drive_order
+        )
+        meta = dict(self.meta)
+        meta.setdefault("config", cfg.describe())
+        meta.setdefault(
+            "clients", [c.describe() for c in self.clients]
+        )
+        return TrafficReport(
+            traces=tuple(traces),
+            drives=drive_stats,
+            makespan_ms=makespan,
+            meta=meta,
+        )
+
+    @staticmethod
+    def _trace(job: _Job, disk: int, completion_ms: float) -> QueryTrace:
+        acc = job.acc
+        return QueryTrace(
+            client=job.cs.client.name,
+            label=describe_query(job.query),
+            index=job.index,
+            disk=disk,
+            arrival_ms=job.arrival_ms,
+            start_ms=job.start_ms,
+            completion_ms=completion_ms,
+            service_ms=acc.total_ms,
+            n_slices=len(job.slices),
+            n_runs=acc.n_requests,
+            n_blocks=acc.n_blocks,
+            n_cells=job.prepared.n_cells,
+            seek_ms=acc.seek_ms,
+            rotation_ms=acc.rotation_ms,
+            transfer_ms=acc.transfer_ms,
+            switch_ms=acc.switch_ms,
+        )

@@ -71,3 +71,18 @@ def toy_adjacency(toy_model):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def make_dataset(small_model):
+    """Factory for fresh same-disk datasets (fresh seed streams each);
+    used by the traffic suites, where replaying a seed needs a new
+    Dataset."""
+    from repro.api import Dataset
+
+    def make(layout="multimap", seed=42, shape=(24, 12, 12), **opts):
+        return Dataset.create(
+            shape, layout=layout, drive=small_model, seed=seed, **opts
+        )
+
+    return make
