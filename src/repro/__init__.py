@@ -26,6 +26,7 @@ The layers underneath remain importable for direct use:
 ``repro.mappings``  Naive / Z-order / Hilbert / Gray baselines
 ``repro.core``      MultiMap itself: basic cubes, planner, mapper
 ``repro.query``     beam and range queries, storage manager
+``repro.cache``     buffer pool, eviction policies, locality prefetch
 ``repro.traffic``   concurrent multi-client traffic simulation
 ``repro.datasets``  the paper's three evaluation datasets
 ``repro.analytic``  the expected-cost model
@@ -36,7 +37,7 @@ All façade attributes load lazily (PEP 562): ``import repro`` stays cheap.
 
 from __future__ import annotations
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: single source of truth for the lazy public surface: name -> module
 _LAZY_EXPORTS = {
@@ -57,6 +58,12 @@ _LAZY_EXPORTS = {
     "QueryResult": "repro.query.executor",
     "TrafficRun": "repro.api.traffic",
     "TrafficReport": "repro.traffic.stats",
+    "BufferPool": "repro.cache",
+    "CacheStats": "repro.cache",
+    "policy_names": "repro.cache",
+    "prefetcher_names": "repro.cache",
+    "register_policy": "repro.cache",
+    "register_prefetcher": "repro.cache",
 }
 
 __all__ = sorted([*_LAZY_EXPORTS, "__version__"])

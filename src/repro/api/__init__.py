@@ -35,6 +35,14 @@ _LAZY_EXPORTS = {
     "Report": "repro.api.report",
     "TrafficRun": "repro.api.traffic",
     "TrafficReport": "repro.traffic.stats",
+    "BufferPool": "repro.cache",
+    "CacheStats": "repro.cache",
+    "POLICIES": "repro.cache",
+    "PREFETCHERS": "repro.cache",
+    "policy_names": "repro.cache",
+    "prefetcher_names": "repro.cache",
+    "register_policy": "repro.cache",
+    "register_prefetcher": "repro.cache",
 }
 
 __all__ = sorted(_LAZY_EXPORTS)

@@ -3,8 +3,9 @@
 One object owns the whole stack the paper layers behind its two
 interfaces (the LVM adjacency API of §3 and the database storage manager
 of §5.1): a simulated drive, a :class:`~repro.lvm.volume.LogicalVolume`,
-a registered layout's mapper, and a
-:class:`~repro.query.executor.StorageManager`::
+a registered layout's mapper, a
+:class:`~repro.query.executor.StorageManager`, and (optionally, via
+:meth:`Dataset.with_cache`) a shared :class:`~repro.cache.BufferPool`::
 
     from repro.api import Dataset
 
@@ -192,12 +193,20 @@ class QueryBatch:
                     q = random_range_cube(ds.shape, entry[1], rng)
                 res = ds.storage.run_query(ds.mapper, q, rng=rng)
                 records.append(make_record(q, res, rep))
+        meta = {"repeats": n_rep, "seed": ds.seed}
+        if ds.cache is not None and ds.cache.active:
+            # pool-LIFETIME cumulative snapshot taken after the batch —
+            # earlier batches on the same dataset are included (call
+            # ds.cache.reset_stats() first to scope stats to one batch);
+            # absent on uncached runs so their report JSON stays
+            # bit-identical to pre-cache
+            meta["cache"] = ds.cache.describe()
         return Report(
             records=tuple(records),
             layout=ds.layout,
             drive=ds.drive_name,
             shape=ds.shape,
-            meta={"repeats": n_rep, "seed": ds.seed},
+            meta=meta,
         )
 
 
@@ -229,6 +238,7 @@ class Dataset:
             cell_blocks=self.cell_blocks, **self.layout_opts,
         )
         self.storage = StorageManager(self.volume, **self._sm_opts)
+        self._cache_spec: dict | None = None
         self._seedseq = (
             None if seed is None else np.random.SeedSequence(seed)
         )
@@ -285,7 +295,76 @@ class Dataset:
             **self._sm_opts,
         )
         clone._store_opts = dict(self._store_opts)
+        if self._cache_spec is not None:
+            # same cache configuration, fresh private pool: layouts
+            # compete on placement, not on each other's cache contents
+            clone.with_cache(**self._cache_spec)
         return clone
+
+    # ------------------------------------------------------------------
+    # caching
+    # ------------------------------------------------------------------
+
+    def with_cache(self, capacity_blocks: int, policy: str = "lru",
+                   prefetch: str = "none", **cache_opts) -> "Dataset":
+        """Attach a fresh :class:`~repro.cache.BufferPool` (chainable).
+
+        ``capacity_blocks == 0`` (the default state) detaches any pool
+        — queries then run bit-identical to a dataset that never had
+        one.  ``policy`` / ``prefetch`` resolve through the
+        :data:`~repro.cache.POLICIES` / :data:`~repro.cache.PREFETCHERS`
+        registries; extra keywords pass to the pool (e.g.
+        ``service_ms_per_block``, ``scan_threshold``,
+        ``prefetch_opts={"steps": 8}``).  ``with_layout`` clones carry
+        the same spec with a private pool, keeping layout comparisons
+        fair.
+        """
+        if capacity_blocks < 0:
+            raise DatasetError("capacity_blocks must be >= 0")
+        from repro.cache import (
+            POLICIES,
+            PREFETCHERS,
+            BufferPool,
+            EvictionPolicy,
+            Prefetcher,
+        )
+
+        # with_layout clones re-instantiate this spec for their private
+        # pools, so it must be re-instantiable: a pre-built (stateful)
+        # policy/prefetcher object would be *shared* across clones and
+        # leak one layout's residency into another's measurements —
+        # wire such an object into storage.cache by hand instead
+        if isinstance(policy, EvictionPolicy) \
+                or isinstance(prefetch, Prefetcher):
+            raise DatasetError(
+                "with_cache takes registered names or classes, not "
+                "instances; build a BufferPool directly for that"
+            )
+        # validate names even on the capacity-0 path, so a typo in a
+        # sweep's baseline cell fails loudly instead of running uncached
+        if isinstance(policy, str):
+            POLICIES.get(policy)
+        if isinstance(prefetch, str):
+            PREFETCHERS.get(prefetch)
+        if not capacity_blocks:
+            self._cache_spec = None
+            self.storage.cache = None
+            return self
+
+        self._cache_spec = dict(
+            capacity_blocks=int(capacity_blocks), policy=policy,
+            prefetch=prefetch, **cache_opts,
+        )
+        self.storage.cache = BufferPool(
+            int(capacity_blocks), policy=policy, prefetch=prefetch,
+            **cache_opts,
+        )
+        return self
+
+    @property
+    def cache(self):
+        """The attached buffer pool, or ``None``."""
+        return self.storage.cache
 
     # ------------------------------------------------------------------
     # fluent queries
@@ -358,13 +437,29 @@ class Dataset:
             )
         return self._store
 
+    def _invalidate_cell_blocks(self, cell_coord) -> None:
+        """Write-invalidate the cache frames of one cell's home blocks."""
+        if self.cache is None or not self.cache.active:
+            return
+        first = int(self.mapper.lbns(np.asarray([cell_coord],
+                                                dtype=np.int64))[0])
+        self.cache.invalidate(
+            self.mapper.disk_index,
+            np.arange(first, first + self.cell_blocks, dtype=np.int64),
+        )
+
     def bulk_load(self, coords, counts=None) -> int:
+        # mass (re)placement: anything cached may now be stale
+        if self.cache is not None:
+            self.cache.clear()
         return self.store.bulk_load(coords, counts)
 
     def insert(self, cell_coord, n: int = 1) -> str:
+        self._invalidate_cell_blocks(cell_coord)
         return self.store.insert(cell_coord, n)
 
     def delete(self, cell_coord, n: int = 1) -> None:
+        self._invalidate_cell_blocks(cell_coord)
         self.store.delete(cell_coord, n)
 
     @property
@@ -372,7 +467,12 @@ class Dataset:
         return self.store.needs_reorganization
 
     def reorganize(self) -> int:
-        return self.store.reorganize()
+        """§4.6 reorganisation; relocation frees and reuses LBNs, so an
+        attached pool is cleared rather than served stale frames."""
+        moved = self.store.reorganize()
+        if self.cache is not None:
+            self.cache.clear()
+        return moved
 
     def store_stats(self) -> StoreStats:
         return self.store.stats()
@@ -416,7 +516,7 @@ class Dataset:
 
     def describe(self) -> dict:
         """JSON-friendly summary of the wiring."""
-        return {
+        out = {
             "shape": list(self.shape),
             "layout": self.layout,
             "layout_opts": dict(self.layout_opts),
@@ -426,6 +526,10 @@ class Dataset:
             "seed": self.seed,
             "n_cells": self.n_cells,
         }
+        if self._cache_spec is not None:
+            # gated so uncached datasets keep the pre-cache JSON layout
+            out["cache"] = dict(self._cache_spec)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -66,11 +66,25 @@ class DriveEntry:
 
 
 class Registry:
-    """A string-keyed table with duplicate protection and helpful errors."""
+    """A string-keyed table with duplicate protection and helpful errors.
 
-    def __init__(self, kind: str):
+    ``populate`` is an optional zero-argument hook invoked before every
+    lookup; it imports the modules whose decorators contribute the
+    builtin entries (and must be idempotent).  The layout/drive
+    registries below use it for lazy population.  Other packages reuse
+    the class without a hook (e.g. the cache-policy and prefetcher
+    registries of :mod:`repro.cache`, whose builtins live in the same
+    module as the registry, so importing one populates the other).
+    """
+
+    def __init__(self, kind: str, populate: Callable[[], None] | None = None):
         self.kind = kind
         self._entries: dict[str, object] = {}
+        self._populate = populate
+
+    def _ensure(self) -> None:
+        if self._populate is not None:
+            self._populate()
 
     def add(self, name: str, entry) -> None:
         if not name or not isinstance(name, str):
@@ -87,7 +101,7 @@ class Registry:
         self._entries[name] = entry
 
     def get(self, name: str):
-        _ensure_populated()
+        self._ensure()
         try:
             return self._entries[name]
         except KeyError:
@@ -98,51 +112,29 @@ class Registry:
             ) from None
 
     def names(self) -> tuple[str, ...]:
-        _ensure_populated()
+        self._ensure()
         return tuple(sorted(self._entries))
 
     def items(self):
-        _ensure_populated()
+        self._ensure()
         return tuple(sorted(self._entries.items()))
 
     def __contains__(self, name: str) -> bool:
-        _ensure_populated()
+        self._ensure()
         return name in self._entries
 
     def __iter__(self) -> Iterator[str]:
         return iter(self.names())
 
     def __len__(self) -> int:
-        _ensure_populated()
+        self._ensure()
         return len(self._entries)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Registry({self.kind!r}, {len(self._entries)} entries)"
 
 
-#: layout-name -> :class:`LayoutEntry`
-LAYOUTS = Registry("layout")
-
-#: drive-name -> :class:`DriveEntry`
-DRIVES = Registry("drive")
-
 _populated = False
-
-
-def _same_registrant(old, new) -> bool:
-    """Whether two entries come from the same definition (same module and
-    qualname of the registered class/factory) — i.e. the defining module
-    re-executed rather than a second party claiming the name."""
-
-    def key(entry):
-        obj = getattr(entry, "cls", None) or getattr(entry, "factory", None)
-        if obj is None:
-            return None
-        return (getattr(obj, "__module__", None),
-                getattr(obj, "__qualname__", None))
-
-    a, b = key(old), key(new)
-    return a is not None and a == b
 
 
 def _ensure_populated() -> None:
@@ -167,6 +159,35 @@ def _ensure_populated() -> None:
     except BaseException:
         _populated = False
         raise
+
+
+#: layout-name -> :class:`LayoutEntry`
+LAYOUTS = Registry("layout", populate=_ensure_populated)
+
+#: drive-name -> :class:`DriveEntry`
+DRIVES = Registry("drive", populate=_ensure_populated)
+
+
+def _same_registrant(old, new) -> bool:
+    """Whether two entries come from the same definition (same module and
+    qualname of the registered class/factory) — i.e. the defining module
+    re-executed rather than a second party claiming the name.
+
+    Entries may be wrapper dataclasses carrying ``cls``/``factory``
+    (layouts, drives) or the registered class itself (cache policies,
+    prefetchers)."""
+
+    def key(entry):
+        obj = getattr(entry, "cls", None) or getattr(entry, "factory", None)
+        if obj is None and callable(entry):
+            obj = entry
+        if obj is None:
+            return None
+        return (getattr(obj, "__module__", None),
+                getattr(obj, "__qualname__", None))
+
+    a, b = key(old), key(new)
+    return a is not None and a == b
 
 
 def _ensure_builtins_before(obj) -> None:

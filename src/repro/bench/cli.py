@@ -1,16 +1,20 @@
 """Command-line entry point: ``python -m repro.bench`` / ``repro-bench``
 (also installed as ``multimap-bench``).
 
-Two modes: the default regenerates paper figures, and the ``traffic``
+Three modes: the default regenerates paper figures, the ``traffic``
 subcommand runs the multi-client traffic storm
-(:func:`repro.traffic.storm.run_storm`).
+(:func:`repro.traffic.storm.run_storm`), and the ``cache`` subcommand
+sweeps buffer-pool capacities per layout
+(:func:`repro.cache.sweep.run_cache_sweep`).
 
 Examples::
 
     repro-bench --scale small --figure fig6a
     repro-bench --scale paper --out results/
     repro-bench traffic --shape 64,64,32 --clients 1,2,4 --queries 10
-    repro-bench traffic --arrival poisson --rate 50 --out results/storm.json
+    repro-bench traffic --arrival poisson --rate 50 --json storm.json
+    repro-bench cache --shape 32,16,16 --capacities 0,1024,4096
+    repro-bench cache --policy slru --prefetch track --json curve.json
 """
 
 from __future__ import annotations
@@ -22,6 +26,26 @@ from pathlib import Path
 from repro.bench.harness import FIGURES, run_all
 
 __all__ = ["main"]
+
+
+def _write_json_report(dest: str, data: dict, default_name: str,
+                       quiet: bool) -> Path:
+    """Shared ``--json`` writer for report subcommands.
+
+    ``dest`` may be a ``.json`` file path or a directory (the payload
+    then lands in ``dest/default_name``); parents are created either
+    way and the resolved path is announced unless ``quiet``.
+    """
+    path = Path(dest)
+    if path.suffix != ".json":
+        path.mkdir(parents=True, exist_ok=True)
+        path = path / default_name
+    else:
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, default=str))
+    if not quiet:
+        print(f"\nsaved {path}")
+    return path
 
 
 def _csv_ints(text: str) -> tuple[int, ...]:
@@ -86,17 +110,73 @@ def _traffic_main(args) -> int:
     )
     if not args.quiet:
         print(render_storm(data))
-    if args.out:
-        path = Path(args.out)
-        if path.suffix != ".json":
-            path.mkdir(parents=True, exist_ok=True)
-            path = path / "traffic.json"
-        else:
-            path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(data, indent=2, default=str))
-        if not args.quiet:
-            print(f"\nsaved {path}")
+    dest = args.json or args.out
+    if dest:
+        _write_json_report(dest, data, "traffic.json", args.quiet)
     return 0
+
+
+def _cache_main(args) -> int:
+    from repro.cache import render_cache_sweep, run_cache_sweep
+
+    data = run_cache_sweep(
+        _csv_ints(args.shape),
+        layouts=_csv_strs(args.layouts),
+        capacities=_csv_ints(args.capacities),
+        policy=args.policy,
+        prefetch=args.prefetch,
+        n_beams=args.beams,
+        repeats=args.repeats,
+        axes=_csv_ints(args.axes),
+        region_frac=args.region,
+        drive=args.drive,
+        seed=args.seed,
+    )
+    if not args.quiet:
+        print(render_cache_sweep(data))
+    if args.json:
+        _write_json_report(args.json, data, "cache.json", args.quiet)
+    return 0
+
+
+def _add_cache_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "cache",
+        help="hit-ratio-vs-capacity sweep per layout",
+        description="Replay a seeded overlapping-beam workload against "
+        "each layout at rising buffer-pool capacities and report the "
+        "cache hit ratio, prefetch accuracy, and query timings — the "
+        "memory half of MultiMap's locality dividend.",
+    )
+    p.add_argument("--shape", default="120,16,16",
+                   help="dataset dims, comma-separated; the default "
+                   "fills whole minidrive tracks along dim 0")
+    p.add_argument("--layouts", default="naive,zorder,hilbert,multimap",
+                   help="comma-separated registered layouts")
+    p.add_argument("--capacities", default="0,4096,12288,24576",
+                   help="comma-separated pool capacities in blocks "
+                   "(0 = uncached baseline)")
+    p.add_argument("--policy", default="lru",
+                   help="eviction policy (lru, slru, scan, or registered)")
+    p.add_argument("--prefetch", default="track",
+                   help="prefetcher (none, track, adjacent, or registered)")
+    p.add_argument("--beams", type=int, default=16,
+                   help="beams per round (default 16)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="rounds over the same beams (default 3)")
+    p.add_argument("--axes", default="1",
+                   help="beam axes, cycled (default 1)")
+    p.add_argument("--region", type=float, default=0.4,
+                   help="fraction of each dim beam anchors cluster in")
+    p.add_argument("--drive", default="minidrive",
+                   help="registered drive model (default minidrive)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="workload + head-position seed")
+    p.add_argument("--json", default=None,
+                   help="JSON output file (or directory)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress table output")
+    p.set_defaults(func=_cache_main)
 
 
 def _add_traffic_parser(subparsers) -> None:
@@ -134,8 +214,10 @@ def _add_traffic_parser(subparsers) -> None:
                    "batch (default 64)")
     p.add_argument("--head", choices=("random", "carry"), default="random",
                    help="per-query random head position or carry-over")
-    p.add_argument("--out", default=None,
+    p.add_argument("--json", default=None,
                    help="JSON output file (or directory)")
+    p.add_argument("--out", default=None,
+                   help="deprecated alias of --json")
     p.add_argument("--quiet", action="store_true",
                    help="suppress table output")
     p.set_defaults(func=_traffic_main)
@@ -167,6 +249,7 @@ def main(argv=None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command")
     _add_traffic_parser(subparsers)
+    _add_cache_parser(subparsers)
     args = parser.parse_args(argv)
     if args.command is not None:
         return args.func(args)

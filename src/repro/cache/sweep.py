@@ -1,0 +1,167 @@
+"""Hit-ratio-vs-capacity sweeps: the caching analogue of the storm.
+
+``run_cache_sweep`` replays the same seeded *overlapping-beam* workload
+against each registered layout at rising pool capacities and records the
+cache hit ratio, prefetch accuracy, and query timings — producing the
+hit-ratio-vs-capacity curve per layout that quantifies the second half
+of MultiMap's locality dividend: under a placement that keeps spatial
+neighbors physically adjacent, one beam's miss work (plus track-aligned
+prefetch) is the neighboring beams' memory hits, while space-filling
+curves scatter a beam across many tracks and pay the pollution.
+
+The workload (:func:`overlapping_beams`) draws beams whose anchors
+cluster inside a sub-region of the dataset and repeats the whole batch,
+so queries overlap both spatially (neighboring anchors share tracks)
+and temporally (repeats re-read the same cells) — the
+repeated/overlapping access the paper's OLAP and earthquake scenarios
+produce.  Every (layout, capacity) cell replays identical queries on a
+fresh same-seed dataset, so only placement and pool behaviour differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.reporting import render_table
+from repro.query.workload import BeamQuery
+
+__all__ = ["overlapping_beams", "run_cache_sweep", "render_cache_sweep"]
+
+DEFAULT_LAYOUTS = ("naive", "zorder", "hilbert", "multimap")
+DEFAULT_CAPACITIES = (0, 4096, 12288, 24576)
+
+
+def overlapping_beams(
+    shape,
+    *,
+    n_beams: int = 16,
+    axes=(1,),
+    region_frac: float = 0.4,
+    seed: int = 0,
+) -> list[BeamQuery]:
+    """Full-length beams whose anchors cluster in one sub-region.
+
+    ``region_frac`` bounds each fixed coordinate to the first
+    ``frac * dim`` cells, so distinct beams cross and share neighboring
+    cells; cycling through ``axes`` mixes access directions the way the
+    paper's multi-dimensional workloads do.  Deterministic for a given
+    ``seed``.
+    """
+    shape = tuple(int(s) for s in shape)
+    rng = np.random.default_rng(seed)
+    queries = []
+    for i in range(int(n_beams)):
+        axis = int(axes[i % len(axes)])
+        fixed = tuple(
+            0 if d == axis
+            else int(rng.integers(0, max(1, int(s * region_frac))))
+            for d, s in enumerate(shape)
+        )
+        queries.append(BeamQuery(axis=axis, fixed=fixed))
+    return queries
+
+
+def run_cache_sweep(
+    shape,
+    layouts=DEFAULT_LAYOUTS,
+    capacities=DEFAULT_CAPACITIES,
+    *,
+    policy: str = "lru",
+    prefetch: str = "track",
+    n_beams: int = 16,
+    repeats: int = 3,
+    axes=(1,),
+    region_frac: float = 0.4,
+    drive: str = "minidrive",
+    seed: int = 42,
+    dataset_opts: dict | None = None,
+) -> dict:
+    """Sweep layouts × pool capacities under one repeated beam workload.
+
+    Returns ``layout -> {capacity: cell}`` where each cell carries the
+    pool's hit ratio / prefetch accuracy and the batch's timing
+    aggregates, plus a ``meta`` entry recording the sweep parameters.
+    Capacity 0 cells run with no pool at all (the parity baseline).
+    """
+    from repro.api.dataset import Dataset
+
+    shape = tuple(int(s) for s in shape)
+    queries = overlapping_beams(
+        shape, n_beams=n_beams, axes=axes,
+        region_frac=region_frac, seed=seed,
+    )
+    data: dict = {}
+    for layout in layouts:
+        per_cap: dict = {}
+        for cap in capacities:
+            ds = Dataset.create(
+                shape, layout=layout, drive=drive, seed=seed,
+                **(dataset_opts or {}),
+            ).with_cache(int(cap), policy=policy, prefetch=prefetch)
+            report = ds.query().add(queries).repeats(repeats).run()
+            cell = {
+                "capacity": int(cap),
+                "total_ms": report.total_ms,
+                "mean_query_ms": report.mean("total_ms"),
+            }
+            if ds.cache is not None:
+                stats = ds.cache.stats
+                cell.update(
+                    hit_ratio=stats.hit_ratio,
+                    prefetch_accuracy=stats.prefetch_accuracy,
+                    occupancy=ds.cache.occupancy,
+                )
+            else:
+                cell.update(hit_ratio=0.0, prefetch_accuracy=0.0,
+                            occupancy=0)
+            per_cap[int(cap)] = cell
+        data[layout] = per_cap
+    data["meta"] = {
+        "shape": list(shape),
+        "drive": drive if isinstance(drive, str) else getattr(
+            drive, "name", str(drive)
+        ),
+        "policy": policy,
+        "prefetch": prefetch,
+        "n_beams": int(n_beams),
+        "repeats": int(repeats),
+        "axes": [int(a) for a in axes],
+        "region_frac": float(region_frac),
+        "seed": int(seed),
+        "capacities": [int(c) for c in capacities],
+        "layouts": [str(layout) for layout in layouts],
+    }
+    return data
+
+
+def _layout_rows(data: dict, metric) -> tuple[list[int], list[list]]:
+    caps = data["meta"]["capacities"]
+    rows = []
+    for layout in data["meta"]["layouts"]:
+        per_cap = data[layout]
+        rows.append([layout] + [metric(per_cap[c]) for c in caps])
+    return caps, rows
+
+
+def render_cache_sweep(data: dict) -> str:
+    """Hit-ratio and mean-latency tables, capacity columns per layout."""
+    meta = data["meta"]
+    parts = [
+        f"cache sweep: shape={tuple(meta['shape'])} on {meta['drive']}, "
+        f"policy={meta['policy']}, prefetch={meta['prefetch']}, "
+        f"{meta['n_beams']} beams x {meta['repeats']} repeats, "
+        f"seed={meta['seed']}"
+    ]
+    caps, rows = _layout_rows(data, lambda c: f"{c['hit_ratio']:.1%}")
+    headers = ["layout"] + [f"cap {c}" for c in caps]
+    parts.append("cache hit ratio vs pool capacity (blocks)")
+    parts.append(render_table(headers, rows))
+    _, rows = _layout_rows(data, lambda c: f"{c['mean_query_ms']:.2f}")
+    parts.append("mean query time (ms) vs pool capacity")
+    parts.append(render_table(headers, rows))
+    _, rows = _layout_rows(
+        data, lambda c: f"{c['prefetch_accuracy']:.1%}"
+    )
+    parts.append("prefetch accuracy vs pool capacity")
+    parts.append(render_table(headers, rows))
+    return "\n\n".join(parts)

@@ -18,6 +18,7 @@ from repro.disk.models import (
     DiskModel,
     atlas_10k3,
     cheetah_36es,
+    mini_drive,
     paper_disks,
     synthetic_disk,
     toy_disk,
@@ -38,6 +39,7 @@ __all__ = [
     "atlas_10k3",
     "cheetah_36es",
     "extract_profile",
+    "mini_drive",
     "measure_seek_profile",
     "paper_disks",
     "synthetic_disk",

@@ -34,6 +34,7 @@ __all__ = [
     "cheetah_36es",
     "atlas_10k3",
     "toy_disk",
+    "mini_drive",
     "synthetic_disk",
     "paper_disks",
 ]
@@ -150,6 +151,29 @@ def toy_disk(
         lambda spt: 0,
     )
     return DiskModel("toy", geom, mech)
+
+
+@register_drive("minidrive")
+def mini_drive() -> DiskModel:
+    """A small synthetic drive sized for example-scale experiments.
+
+    Two zones with 120- and 90-sector tracks, 2 surfaces, C = 8
+    ⇒ D = 16, 10k RPM.  The short tracks let example-scale datasets
+    (dim-0 around 100 cells) fill whole tracks the way the paper's
+    chunked datasets fill the Atlas's 686-sector tracks, which keeps
+    cache and traffic demonstrations honest (and fast) without
+    simulating a 36 GB drive.
+    """
+    return synthetic_disk(
+        "minidrive",
+        rpm=10_000,
+        settle_ms=1.0,
+        settle_cylinders=8,
+        surfaces=2,
+        zone_specs=[(400, 120), (200, 90)],
+        avg_seek_ms=3.0,
+        full_stroke_ms=6.0,
+    )
 
 
 def synthetic_disk(

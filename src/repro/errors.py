@@ -43,3 +43,8 @@ class DatasetError(ReproError):
 class RegistryError(ReproError):
     """Raised by the :mod:`repro.api` registries for unknown or duplicate
     layout/drive names."""
+
+
+class CacheError(ReproError):
+    """Raised by :mod:`repro.cache` for invalid buffer-pool configuration
+    or policy misuse (e.g. evicting from an empty policy)."""

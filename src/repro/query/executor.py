@@ -5,6 +5,15 @@ This is the component the paper calls the "database storage manager"
 conventions of §5.2, hands the batch to the owning drive, and reports the
 timing breakdown.  Every query can start from a randomised head position,
 matching the paper's averaging over runs at random locations.
+
+When a :class:`repro.cache.BufferPool` is attached, preparation gains a
+cache-filter step *after* the §5.2 coalescing: resident blocks are
+carved out of the plan (served at memory speed) and only the miss runs
+reach the drive, still in the plan's issue order; once serviced, the
+missed blocks and their prefetched neighbors are admitted back into the
+pool (:meth:`StorageManager.admit_prepared`).  Without a pool — or with
+a capacity-0 pool — every path below is bit-identical to the uncached
+storage manager.
 """
 
 from __future__ import annotations
@@ -35,6 +44,12 @@ class PreparedQuery:
     (:func:`repro.query.scheduler.slice_plan`) and interleave slices from
     different clients at the drive, resuming the drive position between
     them.
+
+    With a buffer pool attached, ``plan`` holds only the *miss* runs —
+    ``cache_hits`` blocks (in ``cache_runs`` contiguous stretches) were
+    already carved out at the cache-filter step and cost ``cache_ms`` of
+    memory service instead of drive time.  All three stay zero on the
+    uncached path.
     """
 
     mapper_name: str
@@ -42,6 +57,9 @@ class PreparedQuery:
     plan: RequestPlan
     policy: str
     n_cells: int
+    cache_hits: int = 0
+    cache_runs: int = 0
+    cache_ms: float = 0.0
 
     @property
     def n_runs(self) -> int:
@@ -88,6 +106,12 @@ class StorageManager:
         paper's era exposed 32-256 tagged commands).
     sptf_run_limit:
         Batches with more runs than this fall back to one elevator pass.
+    cache:
+        Optional :class:`repro.cache.BufferPool` shared by every query
+        this manager prepares (and by every other manager handed the
+        same pool — the per-volume cache of the traffic simulator).
+        ``None`` or a capacity-0 pool leaves all paths bit-identical to
+        the uncached manager.
     """
 
     def __init__(
@@ -97,11 +121,13 @@ class StorageManager:
         window: int = 128,
         sptf_run_limit: int = 150_000,
         coalesce_gap_blocks: int = 24,
+        cache=None,
     ):
         self.volume = volume
         self.window = int(window)
         self.sptf_run_limit = int(sptf_run_limit)
         self.coalesce_gap_blocks = int(coalesce_gap_blocks)
+        self.cache = cache
 
     # ------------------------------------------------------------------
     # plan execution
@@ -115,13 +141,26 @@ class StorageManager:
         Coalesces nearby runs of sortable batches and resolves the
         effective scheduling policy; the result can be serviced in one
         batch (:meth:`execute_prepared`) or split into slices by the
-        traffic simulator.
+        traffic simulator.  With a buffer pool attached, the cache
+        filter then partitions the prepared plan: resident blocks are
+        served from memory and only the miss runs — still in the §5.2
+        issue order — go to the drive.
         """
         if plan.policy in ("sorted", "sptf"):
             gap = plan.merge_gap
             if gap is None:
                 gap = self.coalesce_gap_blocks
             plan = merge_plan_runs(plan, gap)
+        cache_hits = cache_runs = 0
+        cache_ms = 0.0
+        cache = self.cache
+        if cache is not None and cache.active:
+            plan, cache_hits, cache_runs = cache.filter_plan(
+                mapper.disk_index, plan
+            )
+            cache_ms = cache_hits * cache.service_ms_per_block
+        # resolve the SPTF clamp on what the drive will actually queue:
+        # a warm cache can shrink a too-large batch back under the limit
         policy = effective_policy(plan, self.sptf_run_limit)
         return PreparedQuery(
             mapper_name=mapper.name,
@@ -129,6 +168,9 @@ class StorageManager:
             plan=plan,
             policy=policy,
             n_cells=int(n_cells),
+            cache_hits=cache_hits,
+            cache_runs=cache_runs,
+            cache_ms=cache_ms,
         )
 
     def prepare(self, mapper: Mapper, query) -> PreparedQuery:
@@ -148,7 +190,14 @@ class StorageManager:
         *,
         rng: np.random.Generator | None = None,
     ) -> QueryResult:
-        """Service a prepared query in one batch on its disk."""
+        """Service a prepared query in one batch on its disk.
+
+        Drive timing components cover only the miss runs; blocks the
+        cache filter already claimed add their memory service time to
+        ``total_ms`` (and to the block/run counts) without touching the
+        mechanical breakdown.  Missed blocks are admitted to the pool —
+        with their prefetched neighbors — once serviced.
+        """
         drive = self.volume.drive(prepared.disk_index)
         if rng is not None:
             drive.randomize_position(rng)
@@ -158,18 +207,31 @@ class StorageManager:
             policy=prepared.policy,
             window=self.window,
         )
+        self.admit_prepared(prepared)
         return QueryResult(
             mapper=prepared.mapper_name,
-            total_ms=res.total_ms,
+            total_ms=res.total_ms + prepared.cache_ms,
             n_cells=prepared.n_cells,
-            n_blocks=res.n_blocks,
-            n_runs=res.n_requests,
+            n_blocks=res.n_blocks + prepared.cache_hits,
+            n_runs=res.n_requests + prepared.cache_runs,
             seek_ms=res.seek_ms,
             rotation_ms=res.rotation_ms,
             transfer_ms=res.transfer_ms,
             switch_ms=res.switch_ms,
             policy=prepared.policy,
         )
+
+    def admit_prepared(self, prepared: PreparedQuery) -> None:
+        """Admit a serviced query's missed blocks (plus prefetch).
+
+        No-op without an active pool.  The traffic simulator calls this
+        when a query's *last* slice completes; the one-shot path calls
+        it from :meth:`execute_prepared`.
+        """
+        cache = self.cache
+        if cache is not None and cache.active:
+            cache.admit_plan(self.volume, prepared.disk_index,
+                             prepared.plan)
 
     def execute_plan(
         self,

@@ -26,6 +26,17 @@ Head position (``TrafficConfig.head``):
   idle gaps advance the drive clock (:meth:`DiskDrive.advance_clock`)
   so the platter keeps rotating while the queue is empty.
 
+Caching: when a client's storage manager carries a
+:class:`repro.cache.BufferPool`, queries are cache-filtered at
+*submission* (inside :meth:`StorageManager.prepare`) and the missed
+blocks are admitted — with their prefetched neighbors — when the last
+slice completes, so concurrent clients sharing one pool interact the
+way shared caches do: one client's miss work becomes another's hits,
+and one client's scan can pollute everyone's working set.  Memory-served
+blocks add their (bus-speed) service time to the query's completion
+without occupying the drive.  Without a pool the engine is bit-identical
+to the pre-cache behaviour.
+
 Determinism: no wall-clock, no hash-order iteration; ties in the event
 heap break by submission sequence number.  Same clients + same seeds
 ⇒ bit-identical :class:`TrafficReport`.
@@ -192,6 +203,16 @@ class TrafficSim:
                 ds.drive.draw_position(c.rng)
                 if cfg.head == "random" else None
             )
+            if prepared.plan.n_runs == 0:
+                # every block hit the cache at prepare time: memory
+                # service only, never touches the drive or its queue
+                # (the head draw above still happens, keeping the
+                # client's stream draw-for-draw with the one-shot path)
+                job = _Job(cs, query, prepared, [], t, head_pos,
+                           cs.issued)
+                cs.issued += 1
+                push(t + prepared.cache_ms, "cache_done", (ds, job))
+                return
             job = _Job(cs, query, prepared,
                        slice_plan(prepared.plan, cfg.slice_runs),
                        t, head_pos, cs.issued)
@@ -233,6 +254,21 @@ class TrafficSim:
             ds.served_blocks += res.n_blocks
             push(t + res.total_ms, "slice_done", (ds, job))
 
+        def complete(ds: _DriveState, job: _Job, t_done: float) -> None:
+            """Shared end-of-query bookkeeping (drive or cache path)."""
+            nonlocal makespan
+            cs = job.cs
+            # admit the serviced blocks (plus prefetch) into the shared
+            # pool; a no-op for cache-only jobs and uncached managers
+            cs.client.storage.admit_prepared(job.prepared)
+            cs.completed += 1
+            makespan = max(makespan, t_done)
+            if cfg.collect_traces:
+                traces.append(self._trace(job, ds.disk, t_done))
+            arrival = cs.client.arrival
+            if arrival.closed and cs.issued < cs.client.n_queries:
+                push(arrival.next_after_completion(t_done), "arrive", cs)
+
         # -- seed initial arrivals (client list order) ------------------
         for cs in states:
             arrival = cs.client.arrival
@@ -255,22 +291,19 @@ class TrafficSim:
                     schedule_next_open(cs)
                 else:
                     submit(cs, t)
+            elif kind == "cache_done":
+                ds, job = payload
+                complete(ds, job, t)
             else:  # slice_done
                 ds, job = payload
                 ds.busy = False
                 if job.next_slice < len(job.slices):
                     ds.queue.append(job)
                 else:
-                    cs = job.cs
-                    cs.completed += 1
-                    makespan = max(makespan, t)
-                    if cfg.collect_traces:
-                        traces.append(self._trace(job, ds.disk, t))
-                    arrival = cs.client.arrival
-                    if (arrival.closed
-                            and cs.issued < cs.client.n_queries):
-                        push(arrival.next_after_completion(t),
-                             "arrive", cs)
+                    # completion is billed the memory service time of
+                    # the blocks the cache filter claimed at submission
+                    # (zero without an attached pool)
+                    complete(ds, job, t + job.prepared.cache_ms)
                 maybe_start(ds, t)
 
         drive_stats = tuple(
@@ -287,6 +320,20 @@ class TrafficSim:
         meta.setdefault(
             "clients", [c.describe() for c in self.clients]
         )
+        pools = []
+        for c in self.clients:
+            pool = getattr(c.storage, "cache", None)
+            if pool is not None and pool.active \
+                    and not any(pool is p for p in pools):
+                pools.append(pool)
+        if pools:
+            # only present when a pool is attached, so uncached runs
+            # keep their pre-cache JSON layout bit-for-bit
+            meta.setdefault(
+                "cache",
+                pools[0].describe() if len(pools) == 1
+                else [p.describe() for p in pools],
+            )
         return TrafficReport(
             traces=tuple(traces),
             drives=drive_stats,
@@ -297,6 +344,7 @@ class TrafficSim:
     @staticmethod
     def _trace(job: _Job, disk: int, completion_ms: float) -> QueryTrace:
         acc = job.acc
+        prepared = job.prepared
         return QueryTrace(
             client=job.cs.client.name,
             label=describe_query(job.query),
@@ -305,11 +353,11 @@ class TrafficSim:
             arrival_ms=job.arrival_ms,
             start_ms=job.start_ms,
             completion_ms=completion_ms,
-            service_ms=acc.total_ms,
+            service_ms=acc.total_ms + prepared.cache_ms,
             n_slices=len(job.slices),
-            n_runs=acc.n_requests,
-            n_blocks=acc.n_blocks,
-            n_cells=job.prepared.n_cells,
+            n_runs=acc.n_requests + prepared.cache_runs,
+            n_blocks=acc.n_blocks + prepared.cache_hits,
+            n_cells=prepared.n_cells,
             seek_ms=acc.seek_ms,
             rotation_ms=acc.rotation_ms,
             transfer_ms=acc.transfer_ms,

@@ -193,6 +193,14 @@ class TrafficReport:
             for d in self.drives
         ]
 
+    def cache_stats(self) -> dict | list | None:
+        """Shared buffer-pool snapshot(s) the engine recorded, if any.
+
+        ``None`` when the run had no pool attached (the meta — and so
+        the JSON — then stays identical to an uncached run).
+        """
+        return self.meta.get("cache")
+
     # ------------------------------------------------------------------
     # serialisation / rendering
     # ------------------------------------------------------------------
@@ -250,6 +258,24 @@ class TrafficReport:
         parts.append(render_table(
             ["drive", "busy ms", "slices", "blocks", "util"], drows
         ))
+        cache = self.cache_stats()
+        if cache is not None:
+            crows = [
+                [
+                    c["policy"],
+                    c["prefetch"],
+                    c["capacity_blocks"],
+                    c["occupancy"],
+                    f"{c['stats']['hit_ratio']:.1%}",
+                    f"{c['stats']['prefetch_accuracy']:.1%}",
+                    c["stats"]["evictions"],
+                ]
+                for c in (cache if isinstance(cache, list) else [cache])
+            ]
+            parts.append(render_table(
+                ["cache", "prefetch", "capacity", "used", "hit%",
+                 "pf acc", "evict"], crows
+            ))
         return "\n\n".join(parts)
 
     def __str__(self) -> str:

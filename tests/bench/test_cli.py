@@ -44,3 +44,58 @@ class TestRunAll:
         )
         assert set(results) == {"fig1a"}
         assert (tmp_path / "fig1a.json").exists()
+
+
+CACHE_QUICK = [
+    "cache", "--shape", "24,8,8", "--capacities", "0,512",
+    "--layouts", "naive,multimap", "--beams", "4", "--repeats", "2",
+    "--drive", "minidrive", "--quiet",
+]
+
+TRAFFIC_QUICK = [
+    "traffic", "--shape", "24,8,8", "--clients", "1",
+    "--queries", "3", "--layouts", "naive", "--quiet",
+]
+
+
+class TestCacheSubcommand:
+    def test_runs_and_prints_tables(self, capsys):
+        rc = main(CACHE_QUICK[:-1])  # without --quiet
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hit ratio" in out and "multimap" in out
+
+    def test_json_file_output(self, tmp_path, capsys):
+        dest = tmp_path / "curve.json"
+        rc = main(CACHE_QUICK + ["--json", str(dest)])
+        assert rc == 0
+        payload = json.loads(dest.read_text())
+        assert set(payload["naive"]) == {"0", "512"}
+        assert payload["meta"]["prefetch"] == "track"
+
+    def test_json_directory_output(self, tmp_path, capsys):
+        rc = main(CACHE_QUICK + ["--json", str(tmp_path / "sub")])
+        assert rc == 0
+        assert (tmp_path / "sub" / "cache.json").exists()
+
+    def test_rejects_unknown_policy(self, capsys):
+        from repro.errors import RegistryError
+
+        with pytest.raises(RegistryError):
+            main(CACHE_QUICK + ["--policy", "nope"])
+
+
+class TestSharedJsonWriter:
+    """Both report subcommands accept --json through one helper."""
+
+    def test_traffic_json_flag(self, tmp_path, capsys):
+        dest = tmp_path / "storm.json"
+        rc = main(TRAFFIC_QUICK + ["--json", str(dest)])
+        assert rc == 0
+        payload = json.loads(dest.read_text())
+        assert "naive" in payload and "meta" in payload
+
+    def test_traffic_out_alias_still_works(self, tmp_path, capsys):
+        rc = main(TRAFFIC_QUICK + ["--out", str(tmp_path / "dir")])
+        assert rc == 0
+        assert (tmp_path / "dir" / "traffic.json").exists()
