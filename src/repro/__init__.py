@@ -27,6 +27,7 @@ The layers underneath remain importable for direct use:
 ``repro.core``      MultiMap itself: basic cubes, planner, mapper
 ``repro.query``     beam and range queries, storage manager
 ``repro.cache``     buffer pool, eviction policies, locality prefetch
+``repro.shard``     multi-disk scale-out: shard maps, scatter-gather
 ``repro.traffic``   concurrent multi-client traffic simulation
 ``repro.datasets``  the paper's three evaluation datasets
 ``repro.analytic``  the expected-cost model
@@ -37,7 +38,7 @@ All façade attributes load lazily (PEP 562): ``import repro`` stays cheap.
 
 from __future__ import annotations
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: single source of truth for the lazy public surface: name -> module
 _LAZY_EXPORTS = {
@@ -64,6 +65,11 @@ _LAZY_EXPORTS = {
     "prefetcher_names": "repro.cache",
     "register_policy": "repro.cache",
     "register_prefetcher": "repro.cache",
+    "ShardedBufferPool": "repro.cache",
+    "ShardMap": "repro.shard",
+    "ShardedStorageManager": "repro.shard",
+    "register_strategy": "repro.lvm.striping",
+    "strategy_names": "repro.lvm.striping",
 }
 
 __all__ = sorted([*_LAZY_EXPORTS, "__version__"])

@@ -43,6 +43,14 @@ _LAZY_EXPORTS = {
     "prefetcher_names": "repro.cache",
     "register_policy": "repro.cache",
     "register_prefetcher": "repro.cache",
+    "ShardedBufferPool": "repro.cache",
+    "ShardMap": "repro.shard",
+    "ShardStats": "repro.shard",
+    "ShardedMapper": "repro.shard",
+    "ShardedStorageManager": "repro.shard",
+    "STRATEGIES": "repro.lvm.striping",
+    "register_strategy": "repro.lvm.striping",
+    "strategy_names": "repro.lvm.striping",
 }
 
 __all__ = sorted(_LAZY_EXPORTS)

@@ -18,9 +18,14 @@ wiring goes through the same :func:`~repro.api.registry.build_mapper`
 helper as :func:`repro.datasets.grid.build_chunk_mappers`, so a façade
 stack is bit-identical to a hand-wired one.  ``with_layout`` clones the
 dataset under another mapping on a fresh identical volume — the paper's
-fairness condition for layout comparisons.  Online updates (§4.6) are
-exposed through a lazily created :class:`~repro.core.store.CellStore`
-(``insert`` / ``delete`` / ``bulk_load`` / ``reorganize``).
+fairness condition for layout comparisons.  ``with_shards`` declusters
+the dataset's chunks across several identical member disks
+(:mod:`repro.shard`) and services queries scatter-gather;
+``with_shards(1)`` is pinned bit-identical to the unsharded stack
+(``tests/shard/test_parity.py``), the same guarantee the capacity-0
+cache parity gives.  Online updates (§4.6) are exposed through a lazily
+created :class:`~repro.core.store.CellStore` (``insert`` / ``delete`` /
+``bulk_load`` / ``reorganize``) on unsharded datasets.
 
 Determinism: ``Dataset.create(seed=...)`` owns a
 :class:`numpy.random.SeedSequence`; every ``run()`` without an explicit
@@ -201,6 +206,11 @@ class QueryBatch:
             # absent on uncached runs so their report JSON stays
             # bit-identical to pre-cache
             meta["cache"] = ds.cache.describe()
+        if ds.n_shards > 1:
+            # per-shard gather totals, cumulative like the cache snapshot
+            # (ds.storage.reset_shard_stats() scopes them); gated on > 1
+            # so 1-shard reports stay bit-identical to unsharded ones
+            meta["shards"] = ds.storage.describe_shards()
         return Report(
             records=tuple(records),
             layout=ds.layout,
@@ -233,12 +243,13 @@ class Dataset:
 
         self.volume = LogicalVolume([self._drive_factory()],
                                     depth=self.depth)
-        self.mapper = build_mapper(
-            self._layout_entry, self.shape, self.volume, 0,
-            cell_blocks=self.cell_blocks, **self.layout_opts,
-        )
+        # the mapper is built lazily (see the property below): a dataset
+        # that is immediately re-sharded or re-laid-out never pays for a
+        # whole-grid placement it would throw away
+        self._mapper = None
         self.storage = StorageManager(self.volume, **self._sm_opts)
         self._cache_spec: dict | None = None
+        self._shard_spec: dict | None = None
         self._seedseq = (
             None if seed is None else np.random.SeedSequence(seed)
         )
@@ -271,6 +282,22 @@ class Dataset:
             layout_opts=layout_opts,
         )
 
+    @property
+    def mapper(self):
+        """The placed mapper (built on first use; the allocation lands
+        on the fresh volume exactly as an eager build would, so lazy
+        construction is placement-identical)."""
+        if self._mapper is None:
+            self._mapper = build_mapper(
+                self._layout_entry, self.shape, self.volume, 0,
+                cell_blocks=self.cell_blocks, **self.layout_opts,
+            )
+        return self._mapper
+
+    @mapper.setter
+    def mapper(self, value) -> None:
+        self._mapper = value
+
     # ------------------------------------------------------------------
     # cloning
     # ------------------------------------------------------------------
@@ -295,6 +322,10 @@ class Dataset:
             **self._sm_opts,
         )
         clone._store_opts = dict(self._store_opts)
+        if self._shard_spec is not None:
+            # same declustering on a fresh identical multi-disk volume
+            # (with_shards re-attaches the cache spec itself)
+            clone.with_shards(**self._shard_spec)
         if self._cache_spec is not None:
             # same cache configuration, fresh private pool: layouts
             # compete on placement, not on each other's cache contents
@@ -302,11 +333,137 @@ class Dataset:
         return clone
 
     # ------------------------------------------------------------------
+    # sharding (scale-out across member disks)
+    # ------------------------------------------------------------------
+
+    def with_shards(self, n_shards: int, strategy: str = "disk_modulo",
+                    *, chunk_shape=None) -> "Dataset":
+        """Decluster the dataset across ``n_shards`` identical member
+        disks (chainable).
+
+        The volume is rebuilt with ``n_shards`` drives from the same
+        factory, a :class:`~repro.shard.ShardMap` assigns each chunk a
+        disk via the registered ``strategy``
+        (:data:`repro.lvm.striping.STRATEGIES`: ``round_robin``,
+        ``disk_modulo``, ``cube_aligned``), and queries execute
+        scatter-gather (per-disk sub-plans in parallel, query time =
+        makespan over drives).  ``chunk_shape`` overrides the default
+        last-axis slab chunking.  ``with_shards(1)`` runs the full shard
+        machinery but is **bit-identical** to the unsharded stack — the
+        parity the shard regression tests pin.  An attached cache spec
+        is re-instantiated on the new stack (fresh pool(s)).  Online
+        updates are not available on sharded datasets.
+        """
+        from repro.shard import ShardMap, ShardedStorageManager
+
+        if self._store is not None:
+            raise DatasetError(
+                "cannot shard after the cell store was created"
+            )
+        if self.storage.cache is not None and self._cache_spec is None:
+            # a hand-wired pool (storage.cache = BufferPool(...)) cannot
+            # be re-instantiated for the new volume; dropping it silently
+            # would run the sharded experiment uncached
+            raise DatasetError(
+                "with_shards rebuilds the storage manager and cannot "
+                "carry a hand-wired pool; shard first, then set "
+                "storage.cache (or use with_cache)"
+            )
+        n = int(n_shards)
+        if n < 1:
+            raise DatasetError("n_shards must be >= 1")
+        # build the whole new stack in locals and commit only once
+        # everything validated: a failed call (unknown strategy, bad
+        # chunk shape, exhausted volume) must leave the dataset intact
+        entry = self._strategy_entry(strategy)
+        volume = LogicalVolume(
+            [self._drive_factory() for _ in range(n)], depth=self.depth
+        )
+        align = None
+        if chunk_shape is None and entry is not None \
+                and entry.align_cubes \
+                and self._layout_entry.wiring == "volume":
+            # the basic-cube granule that keeps every cube intact on
+            # one disk; ShardMap.build picks the aligned split axis
+            align = self._basic_cube_sides(volume)
+        shard_map = ShardMap.build(
+            self.shape, n, strategy, chunk_shape=chunk_shape, align=align
+        )
+        storage = ShardedStorageManager(
+            volume, shard_map, self._layout_entry,
+            cell_blocks=self.cell_blocks, **self._sm_opts,
+            layout_opts=self.layout_opts,
+        )
+        self.volume = volume
+        self.storage = storage
+        self.mapper = storage.mapper
+        # record the RESOLVED chunk shape (chunk 0 is always full-size),
+        # so with_layout clones rebuild the identical chunk grid even
+        # when this layout's alignment shaped the default — the fairness
+        # condition for cross-layout comparisons
+        self._shard_spec = dict(
+            n_shards=n, strategy=strategy,
+            chunk_shape=shard_map.chunks[0].shape,
+        )
+        if self._cache_spec is not None:
+            # fresh pool(s) sized by the same spec on the new stack
+            self.with_cache(**self._cache_spec)
+        return self
+
+    @staticmethod
+    def _strategy_entry(strategy):
+        """Resolve a strategy spec to its registry entry (None for
+        non-registered callables/entries passed through)."""
+        from repro.lvm.striping import STRATEGIES, StrategyEntry
+
+        if isinstance(strategy, StrategyEntry):
+            return strategy
+        if isinstance(strategy, str):
+            return STRATEGIES.get(strategy)
+        return None
+
+    def _basic_cube_sides(self, volume=None) -> tuple[int, ...]:
+        """The basic-cube sides K the unsharded MultiMap placement would
+        plan (outer-zone candidate) — the ``cube_aligned`` granule:
+        chunk boundaries land on this plan's cube boundaries, so
+        sharding never cuts through what the single-disk layout would
+        have kept as one cube.  (Each chunk's mapper then plans its own
+        cubes for the chunk's dimensions.)"""
+        from repro.core.planner import plan_basic_cube
+
+        volume = self.volume if volume is None else volume
+        zone_infos = volume.zones(0)
+        t_outer = zone_infos[0].track_length // self.cell_blocks
+        min_tracks = min(z.tracks for z in zone_infos)
+        plan = plan_basic_cube(
+            self.shape, t_outer, min_tracks, volume.depth(0),
+            strategy=self.layout_opts.get("strategy", "compact"),
+        )
+        return plan.K
+
+    @property
+    def n_shards(self) -> int:
+        """Member-disk count (1 for the unsharded stack)."""
+        return 1 if self._shard_spec is None else int(
+            self._shard_spec["n_shards"]
+        )
+
+    @property
+    def is_sharded(self) -> bool:
+        return self._shard_spec is not None
+
+    @property
+    def shard_map(self):
+        """The chunk-to-disk placement, or ``None`` when unsharded."""
+        return None if self._shard_spec is None else self.storage.shard_map
+
+    # ------------------------------------------------------------------
     # caching
     # ------------------------------------------------------------------
 
     def with_cache(self, capacity_blocks: int, policy: str = "lru",
-                   prefetch: str = "none", **cache_opts) -> "Dataset":
+                   prefetch: str = "none", scope: str = "shared",
+                   **cache_opts) -> "Dataset":
         """Attach a fresh :class:`~repro.cache.BufferPool` (chainable).
 
         ``capacity_blocks == 0`` (the default state) detaches any pool
@@ -318,15 +475,29 @@ class Dataset:
         ``prefetch_opts={"steps": 8}``).  ``with_layout`` clones carry
         the same spec with a private pool, keeping layout comparisons
         fair.
+
+        ``scope`` picks the composition on sharded datasets:
+        ``"shared"`` (default) is one host-side pool spanning every
+        member disk; ``"per_shard"`` gives each disk a private
+        :class:`~repro.cache.ShardedBufferPool` member of
+        ``capacity_blocks`` frames (the per-controller cache of a disk
+        array), so one shard's scan cannot evict another's working set.
+        ``with_shards`` re-instantiates the spec on the new disk count.
         """
         if capacity_blocks < 0:
             raise DatasetError("capacity_blocks must be >= 0")
+        if scope not in ("shared", "per_shard"):
+            raise DatasetError(
+                f"cache scope must be 'shared' or 'per_shard', "
+                f"got {scope!r}"
+            )
         from repro.cache import (
             POLICIES,
             PREFETCHERS,
             BufferPool,
             EvictionPolicy,
             Prefetcher,
+            ShardedBufferPool,
         )
 
         # with_layout clones re-instantiate this spec for their private
@@ -351,14 +522,27 @@ class Dataset:
             self.storage.cache = None
             return self
 
+        # construct the pool before committing the spec, so a rejected
+        # configuration leaves the dataset (and its describe()) unchanged
+        if scope == "per_shard":
+            pool = ShardedBufferPool(
+                self.volume.n_disks, int(capacity_blocks),
+                policy=policy, prefetch=prefetch, **cache_opts,
+            )
+        else:
+            pool = BufferPool(
+                int(capacity_blocks), policy=policy, prefetch=prefetch,
+                **cache_opts,
+            )
         self._cache_spec = dict(
             capacity_blocks=int(capacity_blocks), policy=policy,
             prefetch=prefetch, **cache_opts,
         )
-        self.storage.cache = BufferPool(
-            int(capacity_blocks), policy=policy, prefetch=prefetch,
-            **cache_opts,
-        )
+        if scope != "shared":
+            # recorded only when non-default, so shared-pool specs (and
+            # their report meta) keep the pre-shard JSON layout
+            self._cache_spec["scope"] = scope
+        self.storage.cache = pool
         return self
 
     @property
@@ -432,6 +616,11 @@ class Dataset:
         """The lazily created cell store (default options unless
         :meth:`configure_store` ran first)."""
         if self._store is None:
+            if self._shard_spec is not None:
+                raise DatasetError(
+                    "online updates (CellStore) are not supported on "
+                    "sharded datasets; run them on the unsharded stack"
+                )
             self._store = CellStore(
                 self.mapper, self.volume, **self._store_opts
             )
@@ -449,18 +638,21 @@ class Dataset:
         )
 
     def bulk_load(self, coords, counts=None) -> int:
+        store = self.store  # resolve (and gate sharded) before clearing
         # mass (re)placement: anything cached may now be stale
         if self.cache is not None:
             self.cache.clear()
-        return self.store.bulk_load(coords, counts)
+        return store.bulk_load(coords, counts)
 
     def insert(self, cell_coord, n: int = 1) -> str:
+        store = self.store  # resolve (and gate sharded) first
         self._invalidate_cell_blocks(cell_coord)
-        return self.store.insert(cell_coord, n)
+        return store.insert(cell_coord, n)
 
     def delete(self, cell_coord, n: int = 1) -> None:
+        store = self.store
         self._invalidate_cell_blocks(cell_coord)
-        self.store.delete(cell_coord, n)
+        store.delete(cell_coord, n)
 
     @property
     def needs_reorganization(self) -> bool:
@@ -529,6 +721,10 @@ class Dataset:
         if self._cache_spec is not None:
             # gated so uncached datasets keep the pre-cache JSON layout
             out["cache"] = dict(self._cache_spec)
+        if self.n_shards > 1:
+            # gated on > 1: a 1-shard dataset reports as unsharded (it
+            # is bit-identical to one, the pinned parity guarantee)
+            out["shards"] = self.storage.shard_map.describe()
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

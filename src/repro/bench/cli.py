@@ -1,20 +1,28 @@
 """Command-line entry point: ``python -m repro.bench`` / ``repro-bench``
 (also installed as ``multimap-bench``).
 
-Three modes: the default regenerates paper figures, the ``traffic``
+Four modes: the default regenerates paper figures, the ``traffic``
 subcommand runs the multi-client traffic storm
-(:func:`repro.traffic.storm.run_storm`), and the ``cache`` subcommand
+(:func:`repro.traffic.storm.run_storm`), the ``cache`` subcommand
 sweeps buffer-pool capacities per layout
-(:func:`repro.cache.sweep.run_cache_sweep`).
+(:func:`repro.cache.sweep.run_cache_sweep`), and the ``scale``
+subcommand sweeps shard counts per layout
+(:func:`repro.shard.scale.run_scale_sweep`).  The ``--list-layouts`` /
+``--list-drives`` / ``--list-strategies`` flags print the registered
+names (with descriptions) and exit, so users can discover what the
+registries hold without reading source.
 
 Examples::
 
+    repro-bench --list-layouts --list-drives
     repro-bench --scale small --figure fig6a
     repro-bench --scale paper --out results/
     repro-bench traffic --shape 64,64,32 --clients 1,2,4 --queries 10
     repro-bench traffic --arrival poisson --rate 50 --json storm.json
     repro-bench cache --shape 32,16,16 --capacities 0,1024,4096
     repro-bench cache --policy slru --prefetch track --json curve.json
+    repro-bench scale --shape 64,64,32 --shards 1,2,4,8
+    repro-bench scale --strategy cube_aligned --json scale.json
 """
 
 from __future__ import annotations
@@ -179,6 +187,94 @@ def _add_cache_parser(subparsers) -> None:
     p.set_defaults(func=_cache_main)
 
 
+def _scale_main(args) -> int:
+    from repro.shard import render_scale_sweep, run_scale_sweep
+
+    data = run_scale_sweep(
+        _csv_ints(args.shape),
+        layouts=_csv_strs(args.layouts),
+        shard_counts=_csv_ints(args.shards),
+        strategy=args.strategy,
+        split_axis=args.split_axis,
+        n_beams=args.beams,
+        axes=_csv_ints(args.axes) if args.axes else None,
+        drive=args.drive,
+        seed=args.seed,
+    )
+    if not args.quiet:
+        print(render_scale_sweep(data))
+    if args.json:
+        _write_json_report(args.json, data, "scale.json", args.quiet)
+    return 0
+
+
+def _add_scale_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "scale",
+        help="speedup-vs-disks sweep per layout",
+        description="Replay a seeded beam workload against each layout "
+        "at rising shard counts (chunks declustered across member disks,"
+        " queries serviced scatter-gather) and report throughput and "
+        "speedup per mapping — the multi-disk half of MultiMap's "
+        "locality dividend.",
+    )
+    p.add_argument("--shape", default="64,64,32",
+                   help="dataset dims, comma-separated (default 64,64,32)")
+    p.add_argument("--layouts", default="naive,zorder,hilbert,multimap",
+                   help="comma-separated registered layouts")
+    p.add_argument("--shards", default="1,2,4",
+                   help="comma-separated shard counts to sweep")
+    p.add_argument("--strategy", default="disk_modulo",
+                   help="registered declustering strategy "
+                   "(round_robin, disk_modulo, cube_aligned, ...)")
+    p.add_argument("--split-axis", type=int, default=1,
+                   help="axis the chunking slabs (default 1)")
+    p.add_argument("--beams", type=int, default=12,
+                   help="beams in the fixed workload (default 12)")
+    p.add_argument("--axes", default=None,
+                   help="beam axes, cycled (default: every non-streaming "
+                   "axis)")
+    p.add_argument("--drive", default="atlas10k3",
+                   help="registered drive model (default atlas10k3)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="workload + head-position seed")
+    p.add_argument("--json", default=None,
+                   help="JSON output file (or directory)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress table output")
+    p.set_defaults(func=_scale_main)
+
+
+def _list_registries(args) -> bool:
+    """Print the requested registry listings; True if any were asked."""
+    sections = []
+    if args.list_layouts:
+        from repro.api.registry import LAYOUTS
+
+        sections.append(("layouts", [
+            (name, entry.description) for name, entry in LAYOUTS.items()
+        ]))
+    if args.list_drives:
+        from repro.api.registry import DRIVES
+
+        sections.append(("drives", [
+            (name, entry.description) for name, entry in DRIVES.items()
+        ]))
+    if args.list_strategies:
+        from repro.lvm.striping import STRATEGIES
+
+        sections.append(("strategies", [
+            (name, entry.description)
+            for name, entry in STRATEGIES.items()
+        ]))
+    for kind, rows in sections:
+        print(f"registered {kind}:")
+        width = max((len(name) for name, _ in rows), default=0)
+        for name, desc in rows:
+            print(f"  {name:<{width}}  {desc}")
+    return bool(sections)
+
+
 def _add_traffic_parser(subparsers) -> None:
     p = subparsers.add_parser(
         "traffic",
@@ -247,12 +343,30 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress table output"
     )
+    parser.add_argument(
+        "--list-layouts", action="store_true",
+        help="print registered layout names and exit",
+    )
+    parser.add_argument(
+        "--list-drives", action="store_true",
+        help="print registered drive-model names and exit",
+    )
+    parser.add_argument(
+        "--list-strategies", action="store_true",
+        help="print registered declustering strategies and exit",
+    )
     subparsers = parser.add_subparsers(dest="command")
     _add_traffic_parser(subparsers)
     _add_cache_parser(subparsers)
+    _add_scale_parser(subparsers)
     args = parser.parse_args(argv)
+    listed = _list_registries(args)
     if args.command is not None:
+        # a listing combined with a subcommand prints both: the listing
+        # must never silently swallow the requested run
         return args.func(args)
+    if listed:
+        return 0
     run_all(
         scale_name=args.scale,
         out_dir=args.out,

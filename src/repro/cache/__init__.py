@@ -26,6 +26,7 @@ from repro.cache.policies import (
     register_policy,
 )
 from repro.cache.pool import BufferPool, CacheStats, expand_plan
+from repro.cache.sharded import ShardedBufferPool
 from repro.cache.prefetch import (
     PREFETCHERS,
     AdjacentPrefetcher,
@@ -53,6 +54,7 @@ __all__ = [
     "Prefetcher",
     "ScanResistantPolicy",
     "SegmentedLRUPolicy",
+    "ShardedBufferPool",
     "TrackPrefetcher",
     "expand_plan",
     "overlapping_beams",

@@ -35,7 +35,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 
-from repro.api.registry import Registry
+from repro.registry import Registry
 from repro.errors import CacheError
 
 __all__ = [

@@ -38,7 +38,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.api.registry import Registry
+from repro.registry import Registry
 from repro.errors import AdjacencyError, CacheError
 
 __all__ = [

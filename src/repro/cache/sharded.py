@@ -1,0 +1,142 @@
+"""Per-shard buffer-pool composition for multi-disk volumes.
+
+A shared :class:`~repro.cache.pool.BufferPool` already spans member
+disks naturally (frames are keyed by ``(disk, lbn)``), modelling one
+host-side DRAM pool in front of the whole volume.  A
+:class:`ShardedBufferPool` instead gives every member disk its own
+private pool of ``capacity_blocks`` frames — the per-controller cache of
+a real disk array — so one shard's scan can never evict another shard's
+working set.  ``Dataset.with_cache(..., scope="per_shard")`` picks this
+composition.
+
+The class mirrors the exact surface the storage manager, the traffic
+engine, and the façade touch on a pool (``active``, ``filter_plan``,
+``admit_plan``, ``invalidate``, ``clear``, ``reset_stats``, ``stats``,
+``describe``, ``service_ms_per_block``), routing each call to the member
+pool that owns the disk.
+"""
+
+from __future__ import annotations
+
+from repro.cache.pool import BufferPool, CacheStats
+from repro.errors import CacheError
+
+__all__ = ["ShardedBufferPool"]
+
+
+class ShardedBufferPool:
+    """One private :class:`BufferPool` per member disk.
+
+    Parameters match :class:`BufferPool` with ``capacity_blocks``
+    applying *per shard* (total frames = ``n_disks * capacity_blocks``);
+    remaining keywords pass through to every member pool.
+    """
+
+    def __init__(self, n_disks: int, capacity_blocks: int,
+                 policy="lru", prefetch="none", **pool_opts):
+        if n_disks < 1:
+            raise CacheError("need at least one disk")
+        self.n_disks = int(n_disks)
+        self.capacity_per_shard = int(capacity_blocks)
+        self.pools = tuple(
+            BufferPool(capacity_blocks, policy=policy, prefetch=prefetch,
+                       **pool_opts)
+            for _ in range(self.n_disks)
+        )
+
+    def _pool(self, disk: int) -> BufferPool:
+        d = int(disk)
+        if not 0 <= d < self.n_disks:
+            raise CacheError(
+                f"disk {d} out of range for {self.n_disks} shard pools"
+            )
+        return self.pools[d]
+
+    # ------------------------------------------------------------------
+    # the pool surface the storage manager drives
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return any(p.active for p in self.pools)
+
+    @property
+    def service_ms_per_block(self) -> float:
+        return self.pools[0].service_ms_per_block
+
+    @property
+    def capacity(self) -> int:
+        """Total frames across every member pool."""
+        return sum(p.capacity for p in self.pools)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(p.occupancy for p in self.pools)
+
+    def contains(self, disk: int, lbn: int) -> bool:
+        return self._pool(disk).contains(disk, lbn)
+
+    def filter_plan(self, disk: int, plan):
+        return self._pool(disk).filter_plan(disk, plan)
+
+    def admit_plan(self, volume, disk: int, plan) -> None:
+        self._pool(disk).admit_plan(volume, disk, plan)
+
+    def invalidate(self, disk: int, lbns) -> None:
+        self._pool(disk).invalidate(disk, lbns)
+
+    def clear(self) -> None:
+        for p in self.pools:
+            p.clear()
+
+    def reset_stats(self) -> None:
+        for p in self.pools:
+            p.reset_stats()
+
+    # ------------------------------------------------------------------
+    # aggregate introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        """Counters summed across the member pools (a fresh snapshot;
+        mutate the member pools' ``stats``, not this)."""
+        agg = CacheStats()
+        for p in self.pools:
+            s = p.stats
+            agg.accesses += s.accesses
+            agg.hits += s.hits
+            agg.misses += s.misses
+            agg.admitted += s.admitted
+            agg.evictions += s.evictions
+            agg.prefetch_issued += s.prefetch_issued
+            agg.prefetch_hits += s.prefetch_hits
+            agg.served_ms += s.served_ms
+        return agg
+
+    def describe(self) -> dict:
+        """JSON-friendly config + aggregate and per-shard snapshots.
+
+        Carries the same top-level keys a :class:`BufferPool` snapshot
+        has (so shared renderers work unchanged) plus the per-shard
+        breakdown.
+        """
+        first = self.pools[0]
+        return {
+            "scope": "per_shard",
+            "n_pools": self.n_disks,
+            "capacity_blocks": self.capacity,
+            "capacity_per_shard": self.capacity_per_shard,
+            "policy": first.policy.describe(),
+            "prefetch": first.prefetcher.describe(),
+            "service_ms_per_block": first.service_ms_per_block,
+            "occupancy": self.occupancy,
+            "stats": self.stats.to_dict(),
+            "pools": [p.describe() for p in self.pools],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedBufferPool({self.n_disks} x "
+            f"{self.capacity_per_shard}, occupancy={self.occupancy})"
+        )

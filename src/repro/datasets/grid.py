@@ -102,6 +102,25 @@ class GridDataset:
             )
         return chunks
 
+    def shard_map(
+        self,
+        max_shape,
+        n_disks: int = 1,
+        strategy: str = "round_robin",
+    ):
+        """The chunking above as a :class:`repro.shard.ShardMap` — the
+        per-chunk disk assignment (historically computed here and then
+        dropped) becomes the authoritative placement the sharded
+        executor builds mappers from."""
+        from repro.shard.map import ShardMap
+
+        return ShardMap.from_chunks(
+            self.dims,
+            self.chunks(max_shape, n_disks, strategy),
+            n_disks,
+            strategy=strategy,
+        )
+
 
 def paper_synthetic_3d() -> GridDataset:
     """The 1024³ synthetic dataset of §5.3."""

@@ -1,13 +1,25 @@
 """Logical volume manager: extents, adjacency passthrough, declustering."""
 
-from repro.lvm.striping import assign_chunks, disk_modulo, round_robin
+from repro.lvm.striping import (
+    STRATEGIES,
+    StrategyEntry,
+    assign_chunks,
+    disk_modulo,
+    register_strategy,
+    round_robin,
+    strategy_names,
+)
 from repro.lvm.volume import Extent, LogicalVolume, ZoneInfo
 
 __all__ = [
     "Extent",
     "LogicalVolume",
+    "STRATEGIES",
+    "StrategyEntry",
     "ZoneInfo",
     "assign_chunks",
     "disk_modulo",
+    "register_strategy",
     "round_robin",
+    "strategy_names",
 ]

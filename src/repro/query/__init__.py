@@ -1,6 +1,7 @@
 """Query workloads and the storage manager that executes them."""
 
 from repro.query.executor import PreparedQuery, QueryResult, StorageManager
+from repro.query.scatter import ShardedPrepared, scatter_execute, subplans
 from repro.query.scheduler import (
     coalesce_lbns,
     effective_policy,
@@ -20,6 +21,7 @@ __all__ = [
     "PreparedQuery",
     "QueryResult",
     "RangeQuery",
+    "ShardedPrepared",
     "StorageManager",
     "coalesce_lbns",
     "effective_policy",
@@ -27,5 +29,7 @@ __all__ = [
     "random_beam",
     "random_range_cube",
     "range_for_selectivity",
+    "scatter_execute",
     "slice_plan",
+    "subplans",
 ]

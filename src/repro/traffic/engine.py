@@ -11,17 +11,27 @@ different clients interleave at the drive rather than running whole
 queries back-to-back, and a query's later slices resume from wherever
 the contending traffic left the head.
 
+Sharded datasets (whose managers prepare a
+:class:`~repro.query.scatter.ShardedPrepared` of per-disk sub-plans)
+occupy *several* drive queues at once: every sub-plan's slices queue on
+the drive that owns its chunk, drives drain concurrently, and the query
+completes when its **last** disk's portion finishes (each disk's last
+slice plus that disk's share of cache memory time) — the traffic
+analogue of the batch executor's per-disk busy + makespan accounting.
+A one-sub prepared query follows exactly the single-drive path below,
+which keeps 1-shard runs bit-identical to unsharded ones.
+
 Head position (``TrafficConfig.head``):
 
 * ``"random"`` — every query starts from a uniformly random head
   position *pre-drawn from the submitting client's stream at submission
-  time* and applied when its first slice is dispatched.  Pre-drawing
-  keeps each client's random stream a pure function of its own
-  submission order, so per-drive served-block totals are invariant
-  under re-interleavings, while a lone zero-think closed-loop client
-  consumes draws in exactly the order of
-  :meth:`repro.api.QueryBatch.run` (query, head, query, head, ...) —
-  the parity the regression tests pin.
+  time* (one draw per involved disk, in sub-plan order) and applied when
+  its first slice on that drive is dispatched.  Pre-drawing keeps each
+  client's random stream a pure function of its own submission order,
+  so per-drive served-block totals are invariant under re-interleavings,
+  while a lone zero-think closed-loop client consumes draws in exactly
+  the order of :meth:`repro.api.QueryBatch.run` (query, head, query,
+  head, ...) — the parity the regression tests pin.
 * ``"carry"`` — the head stays wherever the previous request left it;
   idle gaps advance the drive clock (:meth:`DiskDrive.advance_clock`)
   so the platter keeps rotating while the queue is empty.
@@ -50,7 +60,7 @@ from dataclasses import dataclass
 
 from repro.disk.drive import BatchResult, DiskDrive
 from repro.errors import QueryError
-from repro.query.executor import PreparedQuery
+from repro.query.scatter import subplans
 from repro.query.scheduler import slice_plan
 from repro.traffic.clients import TrafficClient
 from repro.traffic.stats import (
@@ -94,24 +104,64 @@ class TrafficConfig:
         }
 
 
-class _Job:
-    """One submitted query moving through the drive queue."""
+class _Query:
+    """One submitted query, possibly fanned out over several drives.
 
-    __slots__ = ("cs", "query", "prepared", "slices", "next_slice",
-                 "arrival_ms", "start_ms", "head_pos", "acc", "index")
+    ``disk_cache`` holds each involved disk's share of the memory
+    service time (the cache hits its sub-plans carried); a disk's
+    portion of the query completes ``disk_cache[disk]`` after its last
+    slice, and the query completes at the max over disks (``done_ms``)
+    — the traffic analogue of the batch executor's per-disk busy +
+    makespan accounting, coinciding with it exactly at one sub-plan.
+    """
 
-    def __init__(self, cs, query, prepared, slices, arrival_ms,
-                 head_pos, index):
+    __slots__ = ("cs", "query", "prepared", "remaining", "arrival_ms",
+                 "start_ms", "started", "acc", "index", "disk",
+                 "cache_ms", "cache_hits", "cache_runs", "n_slices",
+                 "disk_cache", "disk_remaining", "done_ms")
+
+    def __init__(self, cs, query, prepared, arrival_ms, index):
         self.cs = cs
         self.query = query
-        self.prepared: PreparedQuery = prepared
-        self.slices = slices
-        self.next_slice = 0
+        self.prepared = prepared
+        self.remaining = 0
         self.arrival_ms = arrival_ms
         self.start_ms = arrival_ms
-        self.head_pos = head_pos
+        self.started = False
         self.acc: BatchResult = BatchResult.empty()
         self.index = index
+        # both prepared forms expose the same aggregate surface
+        # (ShardedPrepared sums its sub-plans)
+        self.disk = prepared.disk_index
+        self.cache_ms = prepared.cache_ms
+        self.cache_hits = prepared.cache_hits
+        self.cache_runs = prepared.cache_runs
+        self.n_slices = 0
+        self.disk_cache: dict[int, float] = {}
+        self.disk_remaining: dict[int, int] = {}
+        self.done_ms = arrival_ms
+
+
+class _Job:
+    """One sub-plan of a query moving through one drive's queue.
+
+    ``disk`` is the sub-plan's member index on its OWN client's volume —
+    the key of the query's ``disk_cache``/``disk_remaining`` maps.  (A
+    shared :class:`_DriveState` records whatever index the first client
+    discovered the drive under, which need not match.)
+    """
+
+    __slots__ = ("qs", "slices", "next_slice", "head_pos", "policy",
+                 "disk")
+
+    def __init__(self, qs: _Query, slices, head_pos, policy: str,
+                 disk: int):
+        self.qs = qs
+        self.slices = slices
+        self.next_slice = 0
+        self.head_pos = head_pos
+        self.policy = policy
+        self.disk = disk
 
 
 class _DriveState:
@@ -146,10 +196,11 @@ class _ClientState:
 class TrafficSim:
     """Run a set of :class:`TrafficClient` s to completion.
 
-    Drives are discovered from each client's storage manager, so clients
-    of different datasets contend exactly when their mappers live on the
-    same :class:`DiskDrive` object (e.g. two layouts sharing one
-    :class:`LogicalVolume`).
+    Drives are discovered from each prepared query's member disks on the
+    client's volume, so clients of different datasets contend exactly
+    when their plans land on the same :class:`DiskDrive` object (e.g.
+    two layouts sharing one :class:`LogicalVolume`), and a sharded
+    client occupies one queue per involved member disk.
     """
 
     def __init__(self, clients, config: TrafficConfig | None = None,
@@ -176,14 +227,12 @@ class TrafficSim:
         traces: list[QueryTrace] = []
         states = [_ClientState(c) for c in self.clients]
 
-        def drive_state(cs: _ClientState) -> _DriveState:
-            drive = cs.client.storage.volume.drive(
-                cs.client.mapper.disk_index
-            )
+        def drive_state(cs: _ClientState, disk: int) -> _DriveState:
+            drive = cs.client.storage.volume.drive(disk)
             key = id(drive)
             ds = drives.get(key)
             if ds is None:
-                ds = _DriveState(drive, cs.client.mapper.disk_index)
+                ds = _DriveState(drive, disk)
                 drives[key] = ds
                 drive_order.append(key)
             return ds
@@ -198,27 +247,60 @@ class TrafficSim:
             c = cs.client
             query = c.mix.draw(c.mapper.dims, c.rng, cs.issued)
             prepared = c.storage.prepare(c.mapper, query)
-            ds = drive_state(cs)
-            head_pos = (
-                ds.drive.draw_position(c.rng)
-                if cfg.head == "random" else None
-            )
-            if prepared.plan.n_runs == 0:
-                # every block hit the cache at prepare time: memory
-                # service only, never touches the drive or its queue
-                # (the head draw above still happens, keeping the
-                # client's stream draw-for-draw with the one-shot path)
-                job = _Job(cs, query, prepared, [], t, head_pos,
-                           cs.issued)
-                cs.issued += 1
-                push(t + prepared.cache_ms, "cache_done", (ds, job))
-                return
-            job = _Job(cs, query, prepared,
-                       slice_plan(prepared.plan, cfg.slice_runs),
-                       t, head_pos, cs.issued)
+            subs = subplans(prepared)
+            # one head draw per involved disk, in sub-plan order — drawn
+            # at submission even for all-hit queries, keeping the
+            # client's stream draw-for-draw with the one-shot path
+            heads: dict[int, tuple | None] = {}
+            disk_states: dict[int, _DriveState] = {}
+            for sub in subs:
+                disk = sub.disk_index
+                if disk not in disk_states:
+                    ds = drive_state(cs, disk)
+                    disk_states[disk] = ds
+                    heads[disk] = (
+                        ds.drive.draw_position(c.rng)
+                        if cfg.head == "random" else None
+                    )
+            qs = _Query(cs, query, prepared, t, cs.issued)
             cs.issued += 1
-            ds.queue.append(job)
-            maybe_start(ds, t)
+            real = []
+            for sub in subs:
+                disk = sub.disk_index
+                qs.disk_cache[disk] = (
+                    qs.disk_cache.get(disk, 0.0) + sub.cache_ms
+                )
+                if sub.plan.n_runs > 0:
+                    qs.disk_remaining[disk] = (
+                        qs.disk_remaining.get(disk, 0) + 1
+                    )
+                    real.append(sub)
+            # a disk whose sub-plans all hit the cache is done after its
+            # memory service alone (it never occupies the drive queue)
+            for disk, cache_ms in qs.disk_cache.items():
+                if disk not in qs.disk_remaining:
+                    qs.done_ms = max(qs.done_ms, t + cache_ms)
+            if not real:
+                # every block of every sub-plan hit the cache at prepare
+                # time: the query completes at its slowest disk's memory
+                # service (the batch path's makespan)
+                push(qs.done_ms, "cache_done", qs)
+                return
+            qs.remaining = len(qs.disk_remaining)
+            claimed: set[int] = set()
+            for sub in real:
+                disk = sub.disk_index
+                # the first sub-plan per drive applies the head draw;
+                # later sub-plans of the same query on that drive resume
+                # from wherever it ends up (the batch path's sequence)
+                head = heads[disk] if disk not in claimed else None
+                claimed.add(disk)
+                job = _Job(qs, slice_plan(sub.plan, cfg.slice_runs),
+                           head, sub.policy, disk)
+                qs.n_slices += len(job.slices)
+                ds = disk_states[disk]
+                ds.queue.append(job)
+                maybe_start(ds, t)
 
         def schedule_next_open(cs: _ClientState) -> None:
             if cs.stopped or cs.issued >= cs.client.n_queries:
@@ -237,34 +319,39 @@ class TrafficSim:
             drive = ds.drive
             if cfg.head == "carry":
                 drive.advance_clock(t)
+            qs = job.qs
             if job.next_slice == 0:
-                job.start_ms = t
+                if not qs.started:
+                    # events pop in time order, so the first dispatch of
+                    # any sub-plan is the query's earliest service start
+                    qs.started = True
+                    qs.start_ms = t
                 if job.head_pos is not None:
                     drive.reset(*job.head_pos)
             sl = job.slices[job.next_slice]
             job.next_slice += 1
             res = drive.service_runs(
                 sl.starts, sl.lengths,
-                policy=job.prepared.policy,
-                window=job.cs.client.storage.window,
+                policy=job.policy,
+                window=qs.cs.client.storage.window,
             )
-            job.acc = job.acc + res
+            qs.acc = qs.acc + res
             ds.busy_ms += res.total_ms
             ds.served_slices += 1
             ds.served_blocks += res.n_blocks
             push(t + res.total_ms, "slice_done", (ds, job))
 
-        def complete(ds: _DriveState, job: _Job, t_done: float) -> None:
+        def complete(qs: _Query, t_done: float) -> None:
             """Shared end-of-query bookkeeping (drive or cache path)."""
             nonlocal makespan
-            cs = job.cs
+            cs = qs.cs
             # admit the serviced blocks (plus prefetch) into the shared
             # pool; a no-op for cache-only jobs and uncached managers
-            cs.client.storage.admit_prepared(job.prepared)
+            cs.client.storage.admit_prepared(qs.prepared)
             cs.completed += 1
             makespan = max(makespan, t_done)
             if cfg.collect_traces:
-                traces.append(self._trace(job, ds.disk, t_done))
+                traces.append(self._trace(qs, t_done))
             arrival = cs.client.arrival
             if arrival.closed and cs.issued < cs.client.n_queries:
                 push(arrival.next_after_completion(t_done), "arrive", cs)
@@ -292,18 +379,27 @@ class TrafficSim:
                 else:
                     submit(cs, t)
             elif kind == "cache_done":
-                ds, job = payload
-                complete(ds, job, t)
+                complete(payload, t)
             else:  # slice_done
                 ds, job = payload
                 ds.busy = False
                 if job.next_slice < len(job.slices):
                     ds.queue.append(job)
                 else:
-                    # completion is billed the memory service time of
-                    # the blocks the cache filter claimed at submission
-                    # (zero without an attached pool)
-                    complete(ds, job, t + job.prepared.cache_ms)
+                    qs = job.qs
+                    qs.disk_remaining[job.disk] -= 1
+                    if qs.disk_remaining[job.disk] == 0:
+                        # this disk's portion is done: bill its share of
+                        # the memory service time (zero without a pool)
+                        qs.done_ms = max(
+                            qs.done_ms, t + qs.disk_cache[job.disk]
+                        )
+                        qs.remaining -= 1
+                        if qs.remaining == 0:
+                            # the query completes when its LAST disk's
+                            # last slice (plus that disk's cache time)
+                            # finishes — the batch makespan rule
+                            complete(qs, qs.done_ms)
                 maybe_start(ds, t)
 
         drive_stats = tuple(
@@ -342,22 +438,21 @@ class TrafficSim:
         )
 
     @staticmethod
-    def _trace(job: _Job, disk: int, completion_ms: float) -> QueryTrace:
-        acc = job.acc
-        prepared = job.prepared
+    def _trace(qs: _Query, completion_ms: float) -> QueryTrace:
+        acc = qs.acc
         return QueryTrace(
-            client=job.cs.client.name,
-            label=describe_query(job.query),
-            index=job.index,
-            disk=disk,
-            arrival_ms=job.arrival_ms,
-            start_ms=job.start_ms,
+            client=qs.cs.client.name,
+            label=describe_query(qs.query),
+            index=qs.index,
+            disk=qs.disk,
+            arrival_ms=qs.arrival_ms,
+            start_ms=qs.start_ms,
             completion_ms=completion_ms,
-            service_ms=acc.total_ms + prepared.cache_ms,
-            n_slices=len(job.slices),
-            n_runs=acc.n_requests + prepared.cache_runs,
-            n_blocks=acc.n_blocks + prepared.cache_hits,
-            n_cells=prepared.n_cells,
+            service_ms=acc.total_ms + qs.cache_ms,
+            n_slices=qs.n_slices,
+            n_runs=acc.n_requests + qs.cache_runs,
+            n_blocks=acc.n_blocks + qs.cache_hits,
+            n_cells=qs.prepared.n_cells,
             seek_ms=acc.seek_ms,
             rotation_ms=acc.rotation_ms,
             transfer_ms=acc.transfer_ms,

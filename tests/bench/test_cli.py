@@ -85,6 +85,72 @@ class TestCacheSubcommand:
             main(CACHE_QUICK + ["--policy", "nope"])
 
 
+SCALE_QUICK = [
+    "scale", "--shape", "24,8,8", "--shards", "1,2",
+    "--layouts", "naive,multimap", "--beams", "4",
+    "--drive", "minidrive", "--quiet",
+]
+
+
+class TestScaleSubcommand:
+    def test_runs_and_prints_tables(self, capsys):
+        rc = main(SCALE_QUICK[:-1])  # without --quiet
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "speedup" in out
+        assert "multimap" in out
+
+    def test_json_file_output(self, tmp_path, capsys):
+        dest = tmp_path / "scale.json"
+        rc = main(SCALE_QUICK + ["--json", str(dest)])
+        assert rc == 0
+        payload = json.loads(dest.read_text())
+        assert set(payload["naive"]) == {"1", "2"}
+        assert payload["meta"]["strategy"] == "disk_modulo"
+
+    def test_cube_aligned_strategy(self, capsys):
+        rc = main(SCALE_QUICK + ["--strategy", "cube_aligned"])
+        assert rc == 0
+
+    def test_rejects_unknown_strategy(self, capsys):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(SCALE_QUICK + ["--strategy", "nope"])
+
+
+class TestListFlags:
+    """Registry introspection without reading source."""
+
+    def test_list_layouts(self, capsys):
+        rc = main(["--list-layouts"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "registered layouts:" in out
+        for name in ("naive", "zorder", "hilbert", "multimap"):
+            assert name in out
+
+    def test_list_drives(self, capsys):
+        rc = main(["--list-drives"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "registered drives:" in out
+        assert "atlas10k3" in out and "minidrive" in out
+
+    def test_list_strategies(self, capsys):
+        rc = main(["--list-strategies"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "round_robin" in out and "cube_aligned" in out
+
+    def test_combined_flags_skip_figures(self, capsys):
+        rc = main(["--list-layouts", "--list-drives"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "registered layouts:" in out
+        assert "registered drives:" in out
+
+
 class TestSharedJsonWriter:
     """Both report subcommands accept --json through one helper."""
 

@@ -1,0 +1,3 @@
+"""Package marker: keeps these module names (test_parity, test_executor,
+test_map) from colliding with the same-named suites of tests/traffic and
+tests/query under pytest's rootdir-based module naming."""

@@ -1,0 +1,116 @@
+"""The scale-out sweep: speedup-vs-disks curves per layout."""
+
+import json
+
+import pytest
+
+from repro.shard import render_scale_sweep, run_scale_sweep, scale_beams
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """One small sweep shared by the checks below (minidrive keeps the
+    module fast; the acceptance-grade defaults run in the smoke job)."""
+    return run_scale_sweep(
+        (24, 12, 12),
+        layouts=("naive", "multimap"),
+        shard_counts=(1, 2, 4),
+        n_beams=6,
+        drive="minidrive",
+        seed=42,
+    )
+
+
+class TestSweep:
+    def test_layout_grid_complete(self, sweep):
+        for layout in ("naive", "multimap"):
+            assert set(sweep[layout]) == {1, 2, 4}
+            for n, cell in sweep[layout].items():
+                assert cell["n_shards"] == n
+                assert cell["total_ms"] > 0
+                assert cell["mb_per_s"] > 0
+
+    def test_speedup_normalised_to_first_count(self, sweep):
+        for layout in ("naive", "multimap"):
+            assert sweep[layout][1]["speedup"] == pytest.approx(1.0)
+
+    def test_same_blocks_every_cell(self, sweep):
+        """Identical queries per cell: only timing may differ."""
+        blocks = {
+            (layout, n): sweep[layout][n]["served_blocks"]
+            for layout in ("naive", "multimap")
+            for n in (1, 2, 4)
+        }
+        assert len(set(blocks.values())) == 1
+
+    def test_meta_records_parameters(self, sweep):
+        meta = sweep["meta"]
+        assert meta["shard_counts"] == [1, 2, 4]
+        assert meta["strategy"] == "disk_modulo"
+        assert meta["split_axis"] == 1
+        json.dumps(sweep)
+
+    def test_render_tables(self, sweep):
+        out = render_scale_sweep(sweep)
+        assert "throughput (MB/s) vs shard count" in out
+        assert "speedup" in out
+        assert "multimap" in out
+
+    def test_explicit_chunk_shape_used_at_every_count(self):
+        data = run_scale_sweep(
+            (24, 12, 12),
+            layouts=("multimap",),
+            shard_counts=(1, 2),
+            chunk_shape=(24, 6, 6),
+            n_beams=4,
+            drive="minidrive",
+            seed=7,
+        )
+        assert data["meta"]["chunk_shape"] == [24, 6, 6]
+        assert data["multimap"][2]["total_ms"] > 0
+
+    def test_custom_axes_recorded(self):
+        data = run_scale_sweep(
+            (24, 12, 12),
+            layouts=("naive",),
+            shard_counts=(1,),
+            n_beams=2,
+            axes=(2,),
+            drive="minidrive",
+            seed=7,
+        )
+        assert data["meta"]["axes"] == [2]
+
+
+class TestAcceptanceCurve:
+    """The acceptance-grade claim at the bench defaults (atlas10k3):
+    multimap throughput is monotone non-decreasing in shard count and
+    leads every layout at every tested N."""
+
+    @pytest.fixture(scope="class")
+    def default_sweep(self):
+        return run_scale_sweep((64, 64, 32), shard_counts=(1, 2, 4),
+                               n_beams=12, seed=42)
+
+    def test_multimap_monotone_non_decreasing(self, default_sweep):
+        tp = [default_sweep["multimap"][n]["mb_per_s"] for n in (1, 2, 4)]
+        assert all(b >= a for a, b in zip(tp, tp[1:]))
+
+    def test_multimap_leads_at_every_shard_count(self, default_sweep):
+        for n in (1, 2, 4):
+            mm = default_sweep["multimap"][n]["mb_per_s"]
+            for layout in ("naive", "zorder", "hilbert"):
+                assert mm >= default_sweep[layout][n]["mb_per_s"]
+
+
+class TestScaleBeams:
+    def test_deterministic_and_cycled(self):
+        a = scale_beams((16, 8, 8), n_beams=6, seed=5)
+        b = scale_beams((16, 8, 8), n_beams=6, seed=5)
+        assert a == b
+        axes = [q.axis for q in a]
+        assert axes == [1, 2, 1, 2, 1, 2]
+
+    def test_custom_axes(self):
+        qs = scale_beams((16, 8, 8), n_beams=4, axes=(0, 2), seed=1)
+        assert [q.axis for q in qs] == [0, 2, 0, 2]
