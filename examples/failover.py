@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Surviving failures: degraded-mode service keeps the locality dividend.
+
+A production array must survive member-disk failures.  This scenario
+replicates every chunk twice across a 3-disk sharded volume
+(`Dataset.with_shards(3).with_replication(2)`), runs a seeded
+multi-client traffic storm, and kills one disk mid-run: queries in
+flight on the dead disk transparently re-dispatch onto surviving
+replicas, queries submitted afterwards avoid it at prepare time, and
+every single query still completes — the traffic report's `failures`
+meta records the schedule and re-dispatch totals.
+
+Expected shape: replica chunks are laid out by the *same* mapping as
+their primaries, so MultiMap keeps its semi-sequential cost structure
+even when reads divert to replicas — its degraded-mode throughput stays
+ahead of every baseline layout.  A rebuild model then streams the dead
+disk's chunks from replicas onto a spare and reports the rebuild time
+plus the interference foreground traffic would see.
+
+Run:  python examples/failover.py           (quick, < 1 s)
+      python examples/failover.py --full    (more clients and queries)
+"""
+
+import argparse
+import sys
+import time
+
+from repro.api import Dataset
+from repro.replica import plan_rebuild
+from repro.traffic import QueryMix
+
+SHAPE = (64, 64, 32)
+LAYOUTS = ("naive", "zorder", "hilbert", "multimap")
+N_DISKS = 3
+K = 2
+KILL_DISK = 1
+KILL_AT_MS = 20.0
+QUICK = dict(clients=2, queries=8)
+FULL = dict(clients=4, queries=12)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="more clients and queries per client")
+    args = parser.parse_args(argv)
+    params = FULL if args.full else QUICK
+    expected = params["clients"] * params["queries"]
+
+    t0 = time.time()
+    ok = True
+    degraded = {}
+    rebuild = None
+    for layout in LAYOUTS:
+        ds = Dataset.create(
+            SHAPE, layout=layout, drive="atlas10k3", seed=42,
+        ).with_shards(N_DISKS).with_replication(K)
+        report = (
+            ds.traffic()
+            .clients(params["clients"], mix=QueryMix.beams(1, 2),
+                     queries=params["queries"])
+            .slice_runs(64)
+            .kill(KILL_AT_MS, KILL_DISK)
+            .run()
+        )
+        failures = report.meta["failures"]
+        replicas = report.meta["replicas"]
+        if len(report.traces) != expected:
+            ok = False
+            print(f"UNEXPECTED: {layout} completed "
+                  f"{len(report.traces)}/{expected} queries")
+        if not failures["schedule"]:
+            ok = False
+            print(f"UNEXPECTED: {layout} recorded no failure schedule")
+        degraded[layout] = report.aggregate()["mb_per_s"]
+        print(f"{layout:>9}: {degraded[layout]:6.3f} MB/s degraded, "
+              f"{len(report.traces)}/{expected} queries, "
+              f"{failures['redispatched_subs']} sub-plan(s) re-dispatched,"
+              f" {replicas['stats']['replica_reads']} replica reads")
+        if layout == "multimap":
+            rebuild = plan_rebuild(ds.storage, KILL_DISK, throttle=0.75)
+
+    inter = rebuild.interference()
+    worst = max(v["foreground_dilation"] for v in inter.values())
+    print(f"\nrebuild of disk {KILL_DISK} (multimap, throttle 0.75): "
+          f"{rebuild.n_copies} chunk copies, {rebuild.n_blocks} blocks, "
+          f"{rebuild.rebuild_ms:.0f} ms; worst foreground dilation "
+          f"{worst:.2f}x across sources {sorted(inter)}")
+    print(f"[{time.time() - t0:.1f} s simulated-wall time]")
+
+    # The claim this example demonstrates: with one disk down, multimap
+    # still beats every baseline layout on degraded-mode throughput.
+    best_other = max(v for l, v in degraded.items() if l != "multimap")
+    if degraded["multimap"] < best_other:
+        ok = False
+        print("UNEXPECTED: a baseline beats multimap in degraded mode")
+    print("multimap: every query served through the failure, degraded "
+          "throughput ahead of every baseline"
+          if ok else "multimap fell behind — see above")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ The layers underneath remain importable for direct use:
 ``repro.query``     beam and range queries, storage manager
 ``repro.cache``     buffer pool, eviction policies, locality prefetch
 ``repro.shard``     multi-disk scale-out: shard maps, scatter-gather
+``repro.replica``   fault tolerance: replicated shards, failure injection
 ``repro.traffic``   concurrent multi-client traffic simulation
 ``repro.datasets``  the paper's three evaluation datasets
 ``repro.analytic``  the expected-cost model
@@ -38,7 +39,7 @@ All façade attributes load lazily (PEP 562): ``import repro`` stays cheap.
 
 from __future__ import annotations
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: single source of truth for the lazy public surface: name -> module
 _LAZY_EXPORTS = {
@@ -68,6 +69,14 @@ _LAZY_EXPORTS = {
     "ShardedBufferPool": "repro.cache",
     "ShardMap": "repro.shard",
     "ShardedStorageManager": "repro.shard",
+    "ReplicaMap": "repro.replica",
+    "ReplicatedStorageManager": "repro.replica",
+    "FailureInjector": "repro.replica",
+    "FailureSchedule": "repro.replica",
+    "placement_names": "repro.replica",
+    "read_policy_names": "repro.replica",
+    "register_placement": "repro.replica",
+    "register_read_policy": "repro.replica",
     "register_strategy": "repro.lvm.striping",
     "strategy_names": "repro.lvm.striping",
 }

@@ -44,6 +44,18 @@ _LAZY_EXPORTS = {
     "register_policy": "repro.cache",
     "register_prefetcher": "repro.cache",
     "ShardedBufferPool": "repro.cache",
+    "PLACEMENTS": "repro.replica",
+    "READ_POLICIES": "repro.replica",
+    "FailureEvent": "repro.replica",
+    "FailureInjector": "repro.replica",
+    "FailureSchedule": "repro.replica",
+    "ReplicaMap": "repro.replica",
+    "ReplicaStats": "repro.replica",
+    "ReplicatedStorageManager": "repro.replica",
+    "placement_names": "repro.replica",
+    "read_policy_names": "repro.replica",
+    "register_placement": "repro.replica",
+    "register_read_policy": "repro.replica",
     "ShardMap": "repro.shard",
     "ShardStats": "repro.shard",
     "ShardedMapper": "repro.shard",

@@ -211,6 +211,11 @@ class QueryBatch:
             # (ds.storage.reset_shard_stats() scopes them); gated on > 1
             # so 1-shard reports stay bit-identical to unsharded ones
             meta["shards"] = ds.storage.describe_shards()
+        if ds.replication_k > 1:
+            # copy placement + routing totals (failed disks, failovers,
+            # degraded queries); gated on k > 1 so single-copy reports
+            # stay bit-identical to the sharded stack
+            meta["replicas"] = ds.storage.describe_replicas()
         return Report(
             records=tuple(records),
             layout=ds.layout,
@@ -250,6 +255,7 @@ class Dataset:
         self.storage = StorageManager(self.volume, **self._sm_opts)
         self._cache_spec: dict | None = None
         self._shard_spec: dict | None = None
+        self._replica_spec: dict | None = None
         self._seedseq = (
             None if seed is None else np.random.SeedSequence(seed)
         )
@@ -323,8 +329,12 @@ class Dataset:
         )
         clone._store_opts = dict(self._store_opts)
         if self._shard_spec is not None:
-            # same declustering on a fresh identical multi-disk volume
+            # same declustering on a fresh identical multi-disk volume;
+            # seeding the replica spec first lets with_shards delegate
+            # to with_replication and build the stack exactly once
             # (with_shards re-attaches the cache spec itself)
+            if self._replica_spec is not None:
+                clone._replica_spec = dict(self._replica_spec)
             clone.with_shards(**self._shard_spec)
         if self._cache_spec is not None:
             # same cache configuration, fresh private pool: layouts
@@ -376,18 +386,45 @@ class Dataset:
         # everything validated: a failed call (unknown strategy, bad
         # chunk shape, exhausted volume) must leave the dataset intact
         entry = self._strategy_entry(strategy)
-        volume = LogicalVolume(
-            [self._drive_factory() for _ in range(n)], depth=self.depth
-        )
         align = None
         if chunk_shape is None and entry is not None \
                 and entry.align_cubes \
                 and self._layout_entry.wiring == "volume":
             # the basic-cube granule that keeps every cube intact on
-            # one disk; ShardMap.build picks the aligned split axis
-            align = self._basic_cube_sides(volume)
+            # one disk; ShardMap.build picks the aligned split axis.
+            # A 1-disk probe volume suffices — the granule depends only
+            # on the (identical) drives' zones and adjacency depth
+            align = self._basic_cube_sides(
+                LogicalVolume([self._drive_factory()], depth=self.depth)
+            )
         shard_map = ShardMap.build(
             self.shape, n, strategy, chunk_shape=chunk_shape, align=align
+        )
+        # record the RESOLVED chunk shape (chunk 0 is always full-size),
+        # so with_layout clones rebuild the identical chunk grid even
+        # when this layout's alignment shaped the default — the fairness
+        # condition for cross-layout comparisons
+        new_spec = dict(
+            n_shards=n, strategy=strategy,
+            chunk_shape=shard_map.chunks[0].shape,
+        )
+        if self._replica_spec is not None:
+            # re-replicate on the new disk count: validate k BEFORE
+            # committing anything (a failed call must leave the dataset
+            # intact), then delegate the whole build to with_replication
+            # so primaries, pools, and replicas are constructed once
+            spec = self._replica_spec
+            self._validate_replica_k(int(spec["k"]), n)
+            old_shard, self._shard_spec = self._shard_spec, new_spec
+            self._replica_spec = None
+            try:
+                return self.with_replication(**spec)
+            except BaseException:
+                self._shard_spec = old_shard
+                self._replica_spec = spec
+                raise
+        volume = LogicalVolume(
+            [self._drive_factory() for _ in range(n)], depth=self.depth
         )
         storage = ShardedStorageManager(
             volume, shard_map, self._layout_entry,
@@ -397,18 +434,123 @@ class Dataset:
         self.volume = volume
         self.storage = storage
         self.mapper = storage.mapper
-        # record the RESOLVED chunk shape (chunk 0 is always full-size),
-        # so with_layout clones rebuild the identical chunk grid even
-        # when this layout's alignment shaped the default — the fairness
-        # condition for cross-layout comparisons
-        self._shard_spec = dict(
-            n_shards=n, strategy=strategy,
-            chunk_shape=shard_map.chunks[0].shape,
+        self._shard_spec = new_spec
+        if self._cache_spec is not None:
+            # fresh pool(s) sized by the same spec on the new stack
+            self.with_cache(**self._cache_spec)
+        return self
+
+    # ------------------------------------------------------------------
+    # replication (fault tolerance across member disks)
+    # ------------------------------------------------------------------
+
+    def with_replication(self, k: int, placement: str = "rotated",
+                         read_policy: str = "primary") -> "Dataset":
+        """Keep ``k`` copies of every chunk on distinct member disks
+        (chainable; shard first).
+
+        The stack is rebuilt with a
+        :class:`~repro.replica.ReplicatedStorageManager`: copy 0 of
+        every chunk stays exactly where :meth:`with_shards` placed it
+        (replica mappers allocate after every primary), reads route to a
+        copy picked by the registered ``read_policy``
+        (:data:`repro.replica.READ_POLICIES`: ``primary``,
+        ``round_robin``, ``least_loaded``), and replica homes come from
+        the registered ``placement``
+        (:data:`repro.replica.PLACEMENTS`: ``rotated`` chained
+        declustering, or ``locality_aligned`` to keep replicas of
+        adjacent chunks together).  Killing a member disk
+        (``storage.fail_disk`` / :class:`repro.replica.FailureInjector`
+        / a traffic failure schedule) transparently diverts reads to
+        surviving copies.  ``with_replication(1)`` runs the full replica
+        machinery but is **bit-identical** to the sharded stack — the
+        parity ``tests/replica/test_parity.py`` pins.
+        """
+        from repro.replica import (
+            PLACEMENTS,
+            READ_POLICIES,
+            ReplicatedStorageManager,
+        )
+        from repro.shard import ShardMap
+
+        if self._store is not None:
+            raise DatasetError(
+                "cannot replicate after the cell store was created"
+            )
+        if self._shard_spec is None:
+            raise DatasetError(
+                "with_replication needs a sharded dataset; call "
+                "with_shards(n) first (n >= k member disks)"
+            )
+        if self.storage.cache is not None and self._cache_spec is None:
+            raise DatasetError(
+                "with_replication rebuilds the storage manager and "
+                "cannot carry a hand-wired pool; replicate first, then "
+                "set storage.cache (or use with_cache)"
+            )
+        k = int(k)
+        if k < 1:
+            raise DatasetError("k must be >= 1")
+        n = int(self._shard_spec["n_shards"])
+        self._validate_replica_k(k, n)
+        # validate names before rebuilding, so a typo leaves the
+        # dataset untouched
+        if isinstance(placement, str):
+            PLACEMENTS.get(placement)
+        if isinstance(read_policy, str):
+            READ_POLICIES.get(read_policy)
+        volume = LogicalVolume(
+            [self._drive_factory() for _ in range(n)], depth=self.depth
+        )
+        shard_map = ShardMap.build(
+            self.shape, n, self._shard_spec["strategy"],
+            chunk_shape=self._shard_spec["chunk_shape"],
+        )
+        storage = ReplicatedStorageManager(
+            volume, shard_map, self._layout_entry,
+            k=k, placement=placement, read_policy=read_policy,
+            cell_blocks=self.cell_blocks, **self._sm_opts,
+            layout_opts=self.layout_opts,
+        )
+        self.volume = volume
+        self.storage = storage
+        self.mapper = storage.mapper
+        self._replica_spec = dict(
+            k=k, placement=placement, read_policy=read_policy,
         )
         if self._cache_spec is not None:
             # fresh pool(s) sized by the same spec on the new stack
             self.with_cache(**self._cache_spec)
         return self
+
+    @staticmethod
+    def _validate_replica_k(k: int, n: int) -> None:
+        """Shared k-vs-disk-count check (with_replication and the
+        re-shard delegation both gate on it *before* mutating)."""
+        if k > n:
+            raise DatasetError(
+                f"k={k} copies need at least k member disks; the "
+                f"dataset has {n} (with_shards({k}) or more first)"
+            )
+
+    @property
+    def replication_k(self) -> int:
+        """Copies per chunk (1 for the unreplicated stack)."""
+        return 1 if self._replica_spec is None else int(
+            self._replica_spec["k"]
+        )
+
+    @property
+    def is_replicated(self) -> bool:
+        return self._replica_spec is not None
+
+    @property
+    def replica_map(self):
+        """The chunk-copy placement, or ``None`` when unreplicated."""
+        return (
+            None if self._replica_spec is None
+            else self.storage.replica_map
+        )
 
     @staticmethod
     def _strategy_entry(strategy):
@@ -611,18 +753,34 @@ class Dataset:
         self._store_opts = dict(store_opts)
         return self
 
+    def _store_mapper(self):
+        """The cell-level mapper updates run against.
+
+        Datasets declustered over several member disks — or chunked
+        into several pieces even on one disk — have no single cell
+        mapper, so updates are gated; a 1-shard dataset whose *lone*
+        chunk spans the whole dataset has a chunk mapper that *is* the
+        full-dataset mapper (the pinned parity guarantee), so
+        un-sharding back to 1 restores update support.
+        """
+        mapper = self.mapper
+        chunk_mappers = getattr(mapper, "chunk_mappers", None)
+        if self.n_shards > 1 or (
+            chunk_mappers is not None and len(chunk_mappers) > 1
+        ):
+            raise DatasetError(
+                "online updates (CellStore) are not supported on "
+                "sharded datasets; run them on the unsharded stack"
+            )
+        return mapper if chunk_mappers is None else chunk_mappers[0]
+
     @property
     def store(self) -> CellStore:
         """The lazily created cell store (default options unless
         :meth:`configure_store` ran first)."""
         if self._store is None:
-            if self._shard_spec is not None:
-                raise DatasetError(
-                    "online updates (CellStore) are not supported on "
-                    "sharded datasets; run them on the unsharded stack"
-                )
             self._store = CellStore(
-                self.mapper, self.volume, **self._store_opts
+                self._store_mapper(), self.volume, **self._store_opts
             )
         return self._store
 
@@ -630,10 +788,11 @@ class Dataset:
         """Write-invalidate the cache frames of one cell's home blocks."""
         if self.cache is None or not self.cache.active:
             return
-        first = int(self.mapper.lbns(np.asarray([cell_coord],
-                                                dtype=np.int64))[0])
+        mapper = self._store.mapper
+        first = int(mapper.lbns(np.asarray([cell_coord],
+                                           dtype=np.int64))[0])
         self.cache.invalidate(
-            self.mapper.disk_index,
+            mapper.disk_index,
             np.arange(first, first + self.cell_blocks, dtype=np.int64),
         )
 
@@ -679,7 +838,7 @@ class Dataset:
         if rng is None:
             rng = self.rng()
         return self.storage.execute_plan(
-            self.mapper, plan, coords.shape[0], rng=rng
+            self._store.mapper, plan, coords.shape[0], rng=rng
         )
 
     # ------------------------------------------------------------------
@@ -725,6 +884,10 @@ class Dataset:
             # gated on > 1: a 1-shard dataset reports as unsharded (it
             # is bit-identical to one, the pinned parity guarantee)
             out["shards"] = self.storage.shard_map.describe()
+        if self.replication_k > 1:
+            # gated on k > 1: a single-copy dataset reports as the
+            # sharded stack it is bit-identical to
+            out["replicas"] = dict(self._replica_spec)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

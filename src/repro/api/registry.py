@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import RegistryError
-from repro.registry import Registry
+from repro.registry import Registry, first_doc_line
 
 __all__ = [
     "DRIVES",
@@ -114,11 +114,6 @@ def _ensure_builtins_before(obj) -> None:
         _ensure_populated()
 
 
-def _first_doc_line(obj) -> str:
-    lines = (obj.__doc__ or "").strip().splitlines()
-    return lines[0] if lines else ""
-
-
 def register_layout(name: str, *, wiring: str = "extent",
                     description: str = ""):
     """Class decorator adding a mapper class to :data:`LAYOUTS`."""
@@ -127,7 +122,7 @@ def register_layout(name: str, *, wiring: str = "extent",
 
     def deco(cls: type) -> type:
         _ensure_builtins_before(cls)
-        desc = description or _first_doc_line(cls)
+        desc = description or first_doc_line(cls)
         LAYOUTS.add(name, LayoutEntry(name, cls, wiring, desc))
         return cls
 
@@ -139,7 +134,7 @@ def register_drive(name: str, *, description: str = ""):
 
     def deco(factory):
         _ensure_builtins_before(factory)
-        desc = description or _first_doc_line(factory)
+        desc = description or first_doc_line(factory)
         DRIVES.add(name, DriveEntry(name, factory, desc))
         return factory
 

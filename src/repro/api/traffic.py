@@ -48,6 +48,8 @@ class TrafficRun:
         self._head = "random"
         self._horizon_ms: float | None = None
         self._collect_traces = True
+        self._failures = None
+        self._failure_events: list = []
 
     # ------------------------------------------------------------------
     # client builders (each returns self for chaining)
@@ -144,6 +146,38 @@ class TrafficRun:
         self._collect_traces = bool(collect)
         return self
 
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+
+    def failures(self, schedule) -> "TrafficRun":
+        """Attach a failure schedule (a
+        :class:`~repro.replica.FailureSchedule`, a
+        :class:`~repro.replica.FailureInjector`, or an iterable of
+        ``(t_ms, action, disk)`` events).  Queries in flight on a killed
+        disk re-dispatch onto surviving replicas; the dataset must be
+        replicated (``with_replication(k >= 2)``) for every query to
+        stay serviceable."""
+        from repro.replica.failures import FailureSchedule
+
+        self._failures = FailureSchedule.coerce(schedule)
+        return self
+
+    def kill(self, at_ms: float, disk: int,
+             revive_at_ms: float | None = None) -> "TrafficRun":
+        """Kill member ``disk`` at ``at_ms`` simulated ms (chainable);
+        an optional ``revive_at_ms`` brings it back."""
+        from repro.replica.failures import FailureEvent
+
+        self._failure_events.append(
+            FailureEvent(float(at_ms), "kill", int(disk))
+        )
+        if revive_at_ms is not None:
+            self._failure_events.append(
+                FailureEvent(float(revive_at_ms), "revive", int(disk))
+            )
+        return self
+
     def __len__(self) -> int:
         return len(self._specs)
 
@@ -189,5 +223,15 @@ class TrafficRun:
             horizon_ms=self._horizon_ms,
             collect_traces=self._collect_traces,
         )
+        failures = self._failures
+        if self._failure_events:
+            from repro.replica.failures import FailureSchedule
+
+            events = tuple(failures.events if failures else ()) + tuple(
+                self._failure_events
+            )
+            failures = FailureSchedule(events)
         meta = {"dataset": ds.describe(), "seed": ds.seed}
-        return TrafficSim(clients, config, meta=meta).run()
+        return TrafficSim(
+            clients, config, meta=meta, failures=failures
+        ).run()

@@ -1,20 +1,25 @@
 """Command-line entry point: ``python -m repro.bench`` / ``repro-bench``
 (also installed as ``multimap-bench``).
 
-Four modes: the default regenerates paper figures, the ``traffic``
+Five modes: the default regenerates paper figures, the ``traffic``
 subcommand runs the multi-client traffic storm
 (:func:`repro.traffic.storm.run_storm`), the ``cache`` subcommand
 sweeps buffer-pool capacities per layout
-(:func:`repro.cache.sweep.run_cache_sweep`), and the ``scale``
-subcommand sweeps shard counts per layout
-(:func:`repro.shard.scale.run_scale_sweep`).  The ``--list-layouts`` /
-``--list-drives`` / ``--list-strategies`` flags print the registered
-names (with descriptions) and exit, so users can discover what the
-registries hold without reading source.
+(:func:`repro.cache.sweep.run_cache_sweep`), the ``scale`` subcommand
+sweeps shard counts per layout
+(:func:`repro.shard.scale.run_scale_sweep`), and the ``avail``
+subcommand sweeps replication factors under a seeded disk failure
+(:func:`repro.replica.avail.run_avail_sweep`).  The ``--list-*`` flags
+(layouts, drives, strategies, cache policies, prefetchers, replica
+placements, read policies) print the registered names with
+descriptions and exit, so users can discover what every registry holds
+without reading source.
 
 Examples::
 
     repro-bench --list-layouts --list-drives
+    repro-bench --list-policies --list-prefetchers
+    repro-bench --list-placements --list-read-policies
     repro-bench --scale small --figure fig6a
     repro-bench --scale paper --out results/
     repro-bench traffic --shape 64,64,32 --clients 1,2,4 --queries 10
@@ -23,6 +28,8 @@ Examples::
     repro-bench cache --policy slru --prefetch track --json curve.json
     repro-bench scale --shape 64,64,32 --shards 1,2,4,8
     repro-bench scale --strategy cube_aligned --json scale.json
+    repro-bench avail --shape 64,16,16 --disks 3 --ks 1,2,3
+    repro-bench avail --placement locality_aligned --json avail.json
 """
 
 from __future__ import annotations
@@ -267,12 +274,109 @@ def _list_registries(args) -> bool:
             (name, entry.description)
             for name, entry in STRATEGIES.items()
         ]))
+    if args.list_policies:
+        from repro.cache import POLICIES
+        from repro.registry import first_doc_line
+
+        # cache registries hold the classes themselves; their docstring
+        # first line is the description
+        sections.append(("cache policies", [
+            (name, first_doc_line(cls))
+            for name, cls in POLICIES.items()
+        ]))
+    if args.list_prefetchers:
+        from repro.cache import PREFETCHERS
+        from repro.registry import first_doc_line
+
+        sections.append(("prefetchers", [
+            (name, first_doc_line(cls))
+            for name, cls in PREFETCHERS.items()
+        ]))
+    if args.list_placements:
+        from repro.replica import PLACEMENTS
+
+        sections.append(("replica placements", [
+            (name, entry.description)
+            for name, entry in PLACEMENTS.items()
+        ]))
+    if args.list_read_policies:
+        from repro.replica import READ_POLICIES
+
+        sections.append(("read policies", [
+            (name, entry.description)
+            for name, entry in READ_POLICIES.items()
+        ]))
     for kind, rows in sections:
         print(f"registered {kind}:")
         width = max((len(name) for name, _ in rows), default=0)
         for name, desc in rows:
             print(f"  {name:<{width}}  {desc}")
     return bool(sections)
+
+
+def _avail_main(args) -> int:
+    from repro.replica import render_avail_sweep, run_avail_sweep
+
+    data = run_avail_sweep(
+        _csv_ints(args.shape),
+        layouts=_csv_strs(args.layouts),
+        ks=_csv_ints(args.ks),
+        n_disks=args.disks,
+        placement=args.placement,
+        read_policy=args.read_policy,
+        n_beams=args.beams,
+        axes=_csv_ints(args.axes) if args.axes else None,
+        drive=args.drive,
+        seed=args.seed,
+        kill_disk=args.kill_disk,
+    )
+    if not args.quiet:
+        print(render_avail_sweep(data))
+    if args.json:
+        _write_json_report(args.json, data, "avail.json", args.quiet)
+    return 0
+
+
+def _add_avail_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "avail",
+        help="availability/overhead-vs-k sweep per layout",
+        description="Replay a seeded beam workload against each layout "
+        "at rising replication factors, healthy and with one seeded "
+        "member-disk failure, and report throughput in both modes plus "
+        "single-failure availability — the fault-tolerance half of "
+        "MultiMap's locality dividend.",
+    )
+    p.add_argument("--shape", default="64,16,16",
+                   help="dataset dims, comma-separated (default 64,16,16)")
+    p.add_argument("--layouts", default="naive,zorder,hilbert,multimap",
+                   help="comma-separated registered layouts")
+    p.add_argument("--ks", default="1,2,3",
+                   help="comma-separated replication factors to sweep")
+    p.add_argument("--disks", type=int, default=3,
+                   help="member disks (>= max k, default 3)")
+    p.add_argument("--placement", default="rotated",
+                   help="registered replica placement "
+                   "(rotated, locality_aligned, ...)")
+    p.add_argument("--read-policy", default="primary",
+                   help="registered read policy "
+                   "(primary, round_robin, least_loaded, ...)")
+    p.add_argument("--beams", type=int, default=8,
+                   help="beams in the fixed workload (default 8)")
+    p.add_argument("--axes", default=None,
+                   help="beam axes, cycled (default: every non-streaming "
+                   "axis)")
+    p.add_argument("--kill-disk", type=int, default=None,
+                   help="member disk to kill (default: seeded draw)")
+    p.add_argument("--drive", default="atlas10k3",
+                   help="registered drive model (default atlas10k3)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="workload + head-position + victim seed")
+    p.add_argument("--json", default=None,
+                   help="JSON output file (or directory)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress table output")
+    p.set_defaults(func=_avail_main)
 
 
 def _add_traffic_parser(subparsers) -> None:
@@ -355,10 +459,27 @@ def main(argv=None) -> int:
         "--list-strategies", action="store_true",
         help="print registered declustering strategies and exit",
     )
+    parser.add_argument(
+        "--list-policies", action="store_true",
+        help="print registered cache eviction policies and exit",
+    )
+    parser.add_argument(
+        "--list-prefetchers", action="store_true",
+        help="print registered cache prefetchers and exit",
+    )
+    parser.add_argument(
+        "--list-placements", action="store_true",
+        help="print registered replica placements and exit",
+    )
+    parser.add_argument(
+        "--list-read-policies", action="store_true",
+        help="print registered replica read policies and exit",
+    )
     subparsers = parser.add_subparsers(dest="command")
     _add_traffic_parser(subparsers)
     _add_cache_parser(subparsers)
     _add_scale_parser(subparsers)
+    _add_avail_parser(subparsers)
     args = parser.parse_args(argv)
     listed = _list_registries(args)
     if args.command is not None:

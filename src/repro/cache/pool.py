@@ -310,6 +310,18 @@ class BufferPool:
             if resident is not None:
                 resident.discard(lbn)
 
+    def drop_disk(self, disk: int) -> None:
+        """Drop every frame of one member disk (e.g. the disk failed:
+        a revived or rebuilt disk must not be served stale frames)."""
+        d = int(disk)
+        resident = self._resident.pop(d, None)
+        self._resident_arr.pop(d, None)
+        if resident:
+            for lbn in resident:
+                key = (d, lbn)
+                self.policy.discard(key)
+                self._prefetched.discard(key)
+
     def clear(self) -> None:
         self.policy.clear()
         self._prefetched.clear()

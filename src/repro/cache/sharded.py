@@ -85,6 +85,9 @@ class ShardedBufferPool:
     def invalidate(self, disk: int, lbns) -> None:
         self._pool(disk).invalidate(disk, lbns)
 
+    def drop_disk(self, disk: int) -> None:
+        self._pool(disk).drop_disk(disk)
+
     def clear(self) -> None:
         for p in self.pools:
             p.clear()

@@ -48,3 +48,8 @@ class RegistryError(ReproError):
 class CacheError(ReproError):
     """Raised by :mod:`repro.cache` for invalid buffer-pool configuration
     or policy misuse (e.g. evicting from an empty policy)."""
+
+
+class ReplicaError(ReproError):
+    """Raised by :mod:`repro.replica` for invalid replication configuration
+    or unreadable data (every copy of a chunk on failed disks)."""

@@ -35,7 +35,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import AllocationError, RegistryError
-from repro.registry import Registry
+from repro.registry import Registry, first_doc_line
 
 __all__ = [
     "STRATEGIES",
@@ -107,8 +107,7 @@ def register_strategy(name: str, *, needs_grid: bool = True,
     :data:`STRATEGIES`."""
 
     def deco(fn):
-        lines = (fn.__doc__ or "").strip().splitlines()
-        desc = description or (lines[0] if lines else "")
+        desc = description or first_doc_line(fn)
         STRATEGIES.add(
             name, StrategyEntry(name, fn, needs_grid, align_cubes, desc)
         )

@@ -15,7 +15,15 @@ from typing import Callable, Iterator
 
 from repro.errors import RegistryError
 
-__all__ = ["Registry"]
+__all__ = ["Registry", "first_doc_line"]
+
+
+def first_doc_line(obj) -> str:
+    """An object's docstring first line — the registries' default entry
+    description (used by every ``register_*`` decorator and the CLI's
+    ``--list-*`` flags)."""
+    lines = (getattr(obj, "__doc__", "") or "").strip().splitlines()
+    return lines[0] if lines else ""
 
 
 class Registry:

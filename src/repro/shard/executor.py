@@ -176,16 +176,22 @@ class ShardedStorageManager(StorageManager):
     # scatter: one query -> per-chunk prepared sub-plans
     # ------------------------------------------------------------------
 
-    def prepare(self, mapper, query) -> ShardedPrepared:
-        """Split a query across the chunks it touches and prepare each
-        sub-plan (coalescing, cache filter, policy clamp) on its chunk's
-        mapper.  ``mapper`` is accepted for interface compatibility; the
-        split always runs against this manager's own chunk mappers."""
+    def _query_pieces(self, query):
+        """Validate ``query`` and split it over the chunks it touches.
+
+        Returns ``(pieces, axis)``: ``pieces`` is a list of
+        ``(chunk, llo, lhi, n_cells)`` in chunk-enumeration order (local
+        chunk coordinates), ``axis`` the beam axis or ``None`` for
+        ranges — enough for :meth:`_piece_plan` to (re-)plan any piece
+        on any chunk mapper, which is what the replica layer's failover
+        re-dispatch builds on."""
         if isinstance(query, BeamQuery):
             lo, hi = self._beam_box(query)
-            n_cells_of = lambda llo, lhi: lhi[query.axis] - llo[query.axis]  # noqa: E731
+            axis = int(query.axis)
+            n_cells_of = lambda llo, lhi: lhi[axis] - llo[axis]  # noqa: E731
         elif isinstance(query, RangeQuery):
             lo, hi = tuple(query.lo), tuple(query.hi)
+            axis = None
             dims = self.mapper.dims
             if len(lo) != len(dims) or len(hi) != len(dims):
                 raise QueryError("box rank does not match dataset rank")
@@ -199,22 +205,34 @@ class ShardedStorageManager(StorageManager):
             )
         else:
             raise QueryError(f"unknown query type {type(query).__name__}")
+        pieces = [
+            (chunk, llo, lhi, n_cells_of(llo, lhi))
+            for chunk, llo, lhi in self.shard_map.intersections(lo, hi)
+        ]
+        if not pieces:
+            raise QueryError("query intersects no chunk")
+        return pieces, axis
 
+    @staticmethod
+    def _piece_plan(chunk_mapper, axis, llo, lhi):
+        """Plan one chunk-local piece on ``chunk_mapper``."""
+        if axis is None:
+            return chunk_mapper.range_plan(llo, lhi)
+        return chunk_mapper.beam_plan(axis, llo, llo[axis], lhi[axis])
+
+    def prepare(self, mapper, query) -> ShardedPrepared:
+        """Split a query across the chunks it touches and prepare each
+        sub-plan (coalescing, cache filter, policy clamp) on its chunk's
+        mapper.  ``mapper`` is accepted for interface compatibility; the
+        split always runs against this manager's own chunk mappers."""
+        pieces, axis = self._query_pieces(query)
         subs = []
         total_cells = 0
-        for chunk, llo, lhi in self.shard_map.intersections(lo, hi):
+        for chunk, llo, lhi, n_cells in pieces:
             chunk_mapper = self.mapper.chunk_mappers[chunk.index]
-            if isinstance(query, BeamQuery):
-                plan = chunk_mapper.beam_plan(
-                    query.axis, llo, llo[query.axis], lhi[query.axis]
-                )
-            else:
-                plan = chunk_mapper.range_plan(llo, lhi)
-            n_cells = n_cells_of(llo, lhi)
+            plan = self._piece_plan(chunk_mapper, axis, llo, lhi)
             subs.append(self.prepare_plan(chunk_mapper, plan, n_cells))
             total_cells += n_cells
-        if not subs:
-            raise QueryError("query intersects no chunk")
         return ShardedPrepared(
             mapper_name=self.mapper.name,
             subs=tuple(subs),

@@ -47,6 +47,20 @@ blocks add their (bus-speed) service time to the query's completion
 without occupying the drive.  Without a pool the engine is bit-identical
 to the pre-cache behaviour.
 
+Failures: a :class:`~repro.replica.failures.FailureSchedule` passed as
+``TrafficSim(..., failures=...)`` kills and revives member disks at
+fixed simulated times.  A killed disk stops servicing immediately: its
+queued jobs — and the job whose slice was in flight, whose partial work
+is lost — re-dispatch through the owning client's replicated storage
+manager (:meth:`ReplicatedStorageManager.failover_sub`), restarting the
+whole sub-plan on a surviving copy's disk; queries submitted afterwards
+avoid dead disks at prepare time.  A client without replicas whose disk
+dies raises — the engine never silently drops queries.  The report's
+meta gains gated ``"failures"`` (the schedule plus re-dispatch totals)
+and ``"replicas"`` (the managers' placement + routing snapshots)
+entries; without a schedule and without replicated clients both keys
+are absent, keeping the JSON bit-identical to pre-replica runs.
+
 Determinism: no wall-clock, no hash-order iteration; ties in the event
 heap break by submission sequence number.  Same clients + same seeds
 ⇒ bit-identical :class:`TrafficReport`.
@@ -118,7 +132,8 @@ class _Query:
     __slots__ = ("cs", "query", "prepared", "remaining", "arrival_ms",
                  "start_ms", "started", "acc", "index", "disk",
                  "cache_ms", "cache_hits", "cache_runs", "n_slices",
-                 "disk_cache", "disk_remaining", "done_ms")
+                 "disk_cache", "disk_remaining", "done_ms",
+                 "failover_subs", "abandoned")
 
     def __init__(self, cs, query, prepared, arrival_ms, index):
         self.cs = cs
@@ -140,6 +155,13 @@ class _Query:
         self.disk_cache: dict[int, float] = {}
         self.disk_remaining: dict[int, int] = {}
         self.done_ms = arrival_ms
+        # sub-plans re-dispatched onto replicas after a disk failure
+        # (admitted to the cache at completion alongside the original),
+        # and the dead-disk sub-plans they replaced (whose blocks were
+        # never fully serviced, so they must NOT be admitted — even if
+        # the disk is revived before the query completes)
+        self.failover_subs: list = []
+        self.abandoned: list = []
 
 
 class _Job:
@@ -152,23 +174,29 @@ class _Job:
     """
 
     __slots__ = ("qs", "slices", "next_slice", "head_pos", "policy",
-                 "disk")
+                 "disk", "source", "sub")
 
     def __init__(self, qs: _Query, slices, head_pos, policy: str,
-                 disk: int):
+                 disk: int, source=None, sub=None):
         self.qs = qs
         self.slices = slices
         self.next_slice = 0
         self.head_pos = head_pos
         self.policy = policy
         self.disk = disk
+        # the sub-plan's SubSource on a replicated manager (None
+        # otherwise) — what failover re-dispatch re-plans from — and
+        # the PreparedQuery itself, marked abandoned on re-dispatch
+        self.source = source
+        self.sub = sub
 
 
 class _DriveState:
     """Per-drive FIFO queue plus servicing bookkeeping."""
 
     __slots__ = ("drive", "disk", "queue", "busy", "busy_ms",
-                 "served_slices", "served_blocks")
+                 "served_slices", "served_blocks", "failed", "current",
+                 "epoch")
 
     def __init__(self, drive: DiskDrive, disk: int):
         self.drive = drive
@@ -178,6 +206,11 @@ class _DriveState:
         self.busy_ms = 0.0
         self.served_slices = 0
         self.served_blocks = 0
+        self.failed = False
+        self.current: _Job | None = None
+        # bumped on failure so in-flight slice_done events of the dead
+        # drive are recognised as stale and ignored
+        self.epoch = 0
 
 
 class _ClientState:
@@ -204,7 +237,7 @@ class TrafficSim:
     """
 
     def __init__(self, clients, config: TrafficConfig | None = None,
-                 meta: dict | None = None):
+                 meta: dict | None = None, failures=None):
         self.clients = list(clients)
         if not self.clients:
             raise QueryError("traffic needs at least one client")
@@ -213,6 +246,12 @@ class TrafficSim:
             raise QueryError("client names must be unique")
         self.config = config or TrafficConfig()
         self.meta = dict(meta or {})
+        if failures is None:
+            self.failures = None
+        else:
+            from repro.replica.failures import FailureSchedule
+
+            self.failures = FailureSchedule.coerce(failures)
 
     # ------------------------------------------------------------------
     # event loop
@@ -227,12 +266,16 @@ class TrafficSim:
         traces: list[QueryTrace] = []
         states = [_ClientState(c) for c in self.clients]
 
+        dead_ids: set[int] = set()  # id(drive) of currently dead drives
+        n_redispatched = 0
+
         def drive_state(cs: _ClientState, disk: int) -> _DriveState:
             drive = cs.client.storage.volume.drive(disk)
             key = id(drive)
             ds = drives.get(key)
             if ds is None:
                 ds = _DriveState(drive, disk)
+                ds.failed = key in dead_ids
                 drives[key] = ds
                 drive_order.append(key)
             return ds
@@ -264,8 +307,9 @@ class TrafficSim:
                     )
             qs = _Query(cs, query, prepared, t, cs.issued)
             cs.issued += 1
+            sources = getattr(prepared, "sources", None)
             real = []
-            for sub in subs:
+            for i, sub in enumerate(subs):
                 disk = sub.disk_index
                 qs.disk_cache[disk] = (
                     qs.disk_cache.get(disk, 0.0) + sub.cache_ms
@@ -274,12 +318,16 @@ class TrafficSim:
                     qs.disk_remaining[disk] = (
                         qs.disk_remaining.get(disk, 0) + 1
                     )
-                    real.append(sub)
+                    real.append((sub, sources[i] if sources else None))
             # a disk whose sub-plans all hit the cache is done after its
-            # memory service alone (it never occupies the drive queue)
+            # memory service alone (it never occupies the drive queue).
+            # disk_cache holds UNBILLED memory time: every billing site
+            # zeroes what it bills, so a failover that re-opens a disk
+            # later never double-counts already-billed cache time
             for disk, cache_ms in qs.disk_cache.items():
                 if disk not in qs.disk_remaining:
                     qs.done_ms = max(qs.done_ms, t + cache_ms)
+                    qs.disk_cache[disk] = 0.0
             if not real:
                 # every block of every sub-plan hit the cache at prepare
                 # time: the query completes at its slowest disk's memory
@@ -288,17 +336,26 @@ class TrafficSim:
                 return
             qs.remaining = len(qs.disk_remaining)
             claimed: set[int] = set()
-            for sub in real:
+            for sub, source in real:
                 disk = sub.disk_index
+                ds = disk_states[disk]
+                if ds.failed:
+                    # a replicated manager never routes here (prepare
+                    # skips failed disks), so this client has no copies
+                    # to divert to — fail loudly, never drop the query
+                    raise QueryError(
+                        f"disk {disk} has failed and client "
+                        f"{c.name!r} has no replicas to fail over to"
+                    )
                 # the first sub-plan per drive applies the head draw;
                 # later sub-plans of the same query on that drive resume
                 # from wherever it ends up (the batch path's sequence)
                 head = heads[disk] if disk not in claimed else None
                 claimed.add(disk)
                 job = _Job(qs, slice_plan(sub.plan, cfg.slice_runs),
-                           head, sub.policy, disk)
+                           head, sub.policy, disk, source=source,
+                           sub=sub)
                 qs.n_slices += len(job.slices)
-                ds = disk_states[disk]
                 ds.queue.append(job)
                 maybe_start(ds, t)
 
@@ -312,10 +369,11 @@ class TrafficSim:
             push(t_next, "arrive", cs)
 
         def maybe_start(ds: _DriveState, t: float) -> None:
-            if ds.busy or not ds.queue:
+            if ds.failed or ds.busy or not ds.queue:
                 return
             job = ds.queue.popleft()
             ds.busy = True
+            ds.current = job
             drive = ds.drive
             if cfg.head == "carry":
                 drive.advance_clock(t)
@@ -335,19 +393,32 @@ class TrafficSim:
                 policy=job.policy,
                 window=qs.cs.client.storage.window,
             )
-            qs.acc = qs.acc + res
-            ds.busy_ms += res.total_ms
-            ds.served_slices += 1
-            ds.served_blocks += res.n_blocks
-            push(t + res.total_ms, "slice_done", (ds, job))
+            # the result is counted at slice_done, not here: a slice
+            # interrupted by a disk failure is LOST work and must not
+            # inflate the dead drive's served totals or the query's
+            # accumulated service (its stale slice_done is discarded)
+            push(t + res.total_ms, "slice_done",
+                 (ds, job, ds.epoch, res))
 
         def complete(qs: _Query, t_done: float) -> None:
             """Shared end-of-query bookkeeping (drive or cache path)."""
             nonlocal makespan
             cs = qs.cs
             # admit the serviced blocks (plus prefetch) into the shared
-            # pool; a no-op for cache-only jobs and uncached managers
-            cs.client.storage.admit_prepared(qs.prepared)
+            # pool; a no-op for cache-only jobs and uncached managers.
+            # Sub-plans abandoned by failover were never fully serviced
+            # (their frames were dropped with the disk), so they are
+            # skipped even if their disk has since been revived.
+            storage = cs.client.storage
+            if qs.abandoned:
+                for sub in subplans(qs.prepared):
+                    if not any(sub is a for a in qs.abandoned):
+                        storage.admit_prepared(sub)
+            else:
+                storage.admit_prepared(qs.prepared)
+            for sub in qs.failover_subs:
+                if not any(sub is a for a in qs.abandoned):
+                    storage.admit_prepared(sub)
             cs.completed += 1
             makespan = max(makespan, t_done)
             if cfg.collect_traces:
@@ -355,6 +426,136 @@ class TrafficSim:
             arrival = cs.client.arrival
             if arrival.closed and cs.issued < cs.client.n_queries:
                 push(arrival.next_after_completion(t_done), "arrive", cs)
+
+        def redispatch(job: _Job, t: float, dead: int) -> None:
+            """Restart one dead disk's sub-plan on a surviving copy."""
+            nonlocal n_redispatched
+            qs = job.qs
+            c = qs.cs.client
+            storage = c.storage
+            if job.source is None or not hasattr(storage,
+                                                "failover_sub"):
+                raise QueryError(
+                    f"disk {dead} failed mid-run and client "
+                    f"{c.name!r} has no replicas to fail over to"
+                )
+            source, sub = storage.failover_sub(job.source)
+            n_redispatched += 1
+            if job.sub is not None:
+                qs.abandoned.append(job.sub)
+            old = job.disk
+            qs.disk_remaining[old] -= 1
+            if qs.disk_remaining[old] == 0:
+                # the dead disk's portion is over: bill its (already
+                # served) memory time and release the pending slot
+                del qs.disk_remaining[old]
+                qs.done_ms = max(
+                    qs.done_ms, t + qs.disk_cache.get(old, 0.0)
+                )
+                qs.disk_cache[old] = 0.0
+                qs.remaining -= 1
+            new = sub.disk_index
+            qs.disk_cache[new] = (
+                qs.disk_cache.get(new, 0.0) + sub.cache_ms
+            )
+            qs.failover_subs.append(sub)
+            if sub.plan.n_runs > 0:
+                if new not in qs.disk_remaining:
+                    qs.disk_remaining[new] = 0
+                    qs.remaining += 1
+                qs.disk_remaining[new] += 1
+                # no head draw: the replica drive resumes from wherever
+                # contending traffic left it (a drawn head would also
+                # perturb the client's pre-kill stream)
+                nj = _Job(qs, slice_plan(sub.plan, cfg.slice_runs),
+                          None, sub.policy, new, source=source,
+                          sub=sub)
+                qs.n_slices += len(nj.slices)
+                target = drive_state(qs.cs, new)
+                target.queue.append(nj)
+                maybe_start(target, t)
+            else:
+                # the whole failover sub hit the cache at re-prepare
+                if new not in qs.disk_remaining:
+                    qs.done_ms = max(
+                        qs.done_ms, t + qs.disk_cache[new]
+                    )
+                    qs.disk_cache[new] = 0.0
+                if qs.remaining == 0:
+                    push(qs.done_ms, "cache_done", qs)
+
+        def storages_with(attr: str):
+            seen: list = []
+            for cs in states:
+                st = cs.client.storage
+                if hasattr(st, attr) and not any(
+                    st is s for s in seen
+                ):
+                    seen.append(st)
+            return seen
+
+        def check_member(disk: int) -> None:
+            # a typo'd disk index must not silently measure the healthy
+            # path while the meta reports a failure was injected
+            if not any(
+                disk < cs.client.storage.volume.n_disks
+                for cs in states
+            ):
+                raise QueryError(
+                    f"failure schedule names disk {disk}, but no "
+                    f"client volume has that many member disks"
+                )
+
+        def kill_member(disk: int, t: float) -> None:
+            check_member(disk)
+            # mark storages first, so failover re-prepares avoid the
+            # dead disk (and caches drop its frames)
+            for st in storages_with("fail_disk"):
+                if disk < st.volume.n_disks:
+                    st.fail_disk(disk)
+            affected: list[_DriveState] = []
+            for cs in states:
+                vol = cs.client.storage.volume
+                if disk < vol.n_disks:
+                    key = id(vol.drive(disk))
+                    dead_ids.add(key)
+                    ds = drives.get(key)
+                    if ds is not None and not ds.failed:
+                        affected.append(ds)
+            for ds in affected:
+                ds.failed = True
+                ds.epoch += 1  # in-flight slice_done becomes stale
+                ds.busy = False
+                jobs = list(ds.queue)
+                if ds.current is not None:
+                    # the in-flight slice's partial work is lost; the
+                    # whole sub-plan restarts on a replica
+                    jobs.insert(0, ds.current)
+                ds.queue.clear()
+                ds.current = None
+                for job in jobs:
+                    redispatch(job, t, disk)
+
+        def revive_member(disk: int, t: float) -> None:
+            check_member(disk)
+            for st in storages_with("revive_disk"):
+                if disk < st.volume.n_disks:
+                    st.revive_disk(disk)
+            for cs in states:
+                vol = cs.client.storage.volume
+                if disk < vol.n_disks:
+                    key = id(vol.drive(disk))
+                    dead_ids.discard(key)
+                    ds = drives.get(key)
+                    if ds is not None:
+                        ds.failed = False
+                        maybe_start(ds, t)
+
+        # -- schedule failures (before arrivals: a kill at t applies
+        #    ahead of any same-t submission) --------------------------
+        if self.failures is not None:
+            for ev in self.failures:
+                push(ev.t_ms, "failure", ev)
 
         # -- seed initial arrivals (client list order) ------------------
         for cs in states:
@@ -380,9 +581,25 @@ class TrafficSim:
                     submit(cs, t)
             elif kind == "cache_done":
                 complete(payload, t)
+            elif kind == "failure":
+                if payload.action == "kill":
+                    kill_member(payload.disk, t)
+                else:
+                    revive_member(payload.disk, t)
             else:  # slice_done
-                ds, job = payload
+                ds, job, epoch, res = payload
+                if epoch != ds.epoch:
+                    # the drive died while this slice was in flight;
+                    # the job was already re-dispatched at kill time
+                    # and the slice's work is lost, never counted
+                    continue
+                jq = job.qs
+                jq.acc = jq.acc + res
+                ds.busy_ms += res.total_ms
+                ds.served_slices += 1
+                ds.served_blocks += res.n_blocks
                 ds.busy = False
+                ds.current = None
                 if job.next_slice < len(job.slices):
                     ds.queue.append(job)
                 else:
@@ -390,10 +607,17 @@ class TrafficSim:
                     qs.disk_remaining[job.disk] -= 1
                     if qs.disk_remaining[job.disk] == 0:
                         # this disk's portion is done: bill its share of
-                        # the memory service time (zero without a pool)
+                        # the memory service time (zero without a pool).
+                        # The key is DELETED, not left at zero —
+                        # disk_remaining must hold only disks with
+                        # pending subs, or a later failover onto this
+                        # disk would skip its qs.remaining increment and
+                        # the query would never complete.
+                        del qs.disk_remaining[job.disk]
                         qs.done_ms = max(
                             qs.done_ms, t + qs.disk_cache[job.disk]
                         )
+                        qs.disk_cache[job.disk] = 0.0
                         qs.remaining -= 1
                         if qs.remaining == 0:
                             # the query completes when its LAST disk's
@@ -429,6 +653,30 @@ class TrafficSim:
                 "cache",
                 pools[0].describe() if len(pools) == 1
                 else [p.describe() for p in pools],
+            )
+        if self.failures is not None:
+            # gated on a schedule being passed, so failure-free runs
+            # keep their JSON layout bit-for-bit
+            meta.setdefault("failures", {
+                "schedule": self.failures.describe()["events"],
+                "redispatched_subs": n_redispatched,
+            })
+        replicated = []
+        for c in self.clients:
+            st = c.storage
+            rm = getattr(st, "replica_map", None)
+            if rm is not None and rm.k > 1 and not any(
+                st is s for s in replicated
+            ):
+                replicated.append(st)
+        if replicated:
+            # gated on k > 1: single-copy managers stay bit-identical
+            # to the sharded stack, meta included
+            meta.setdefault(
+                "replicas",
+                replicated[0].describe_replicas()
+                if len(replicated) == 1
+                else [s.describe_replicas() for s in replicated],
             )
         return TrafficReport(
             traces=tuple(traces),

@@ -108,6 +108,23 @@ class TestScaleSubcommand:
         assert set(payload["naive"]) == {"1", "2"}
         assert payload["meta"]["strategy"] == "disk_modulo"
 
+    def test_json_directory_output(self, tmp_path, capsys):
+        """scale routes --json through the shared writer: a non-.json
+        destination is a directory receiving scale.json."""
+        rc = main(SCALE_QUICK + ["--json", str(tmp_path / "sub")])
+        assert rc == 0
+        payload = json.loads(
+            (tmp_path / "sub" / "scale.json").read_text()
+        )
+        assert "multimap" in payload and "meta" in payload
+
+    def test_json_announces_path(self, tmp_path, capsys):
+        """The shared writer prints the resolved path unless --quiet."""
+        dest = tmp_path / "scale.json"
+        rc = main(SCALE_QUICK[:-1] + ["--json", str(dest)])
+        assert rc == 0
+        assert f"saved {dest}" in capsys.readouterr().out
+
     def test_cube_aligned_strategy(self, capsys):
         rc = main(SCALE_QUICK + ["--strategy", "cube_aligned"])
         assert rc == 0
@@ -149,6 +166,87 @@ class TestListFlags:
         out = capsys.readouterr().out
         assert "registered layouts:" in out
         assert "registered drives:" in out
+
+    def test_list_policies(self, capsys):
+        rc = main(["--list-policies"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "registered cache policies:" in out
+        for name in ("lru", "slru", "scan"):
+            assert name in out
+
+    def test_list_prefetchers(self, capsys):
+        rc = main(["--list-prefetchers"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "registered prefetchers:" in out
+        for name in ("none", "track", "adjacent"):
+            assert name in out
+
+    def test_list_placements(self, capsys):
+        rc = main(["--list-placements"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "registered replica placements:" in out
+        assert "rotated" in out and "locality_aligned" in out
+
+    def test_list_read_policies(self, capsys):
+        rc = main(["--list-read-policies"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "registered read policies:" in out
+        for name in ("primary", "round_robin", "least_loaded"):
+            assert name in out
+
+    def test_list_flags_carry_descriptions(self, capsys):
+        """Cache registries hold bare classes; their docstring first
+        line must still surface as the description."""
+        main(["--list-policies"])
+        out = capsys.readouterr().out
+        assert "least-recently-used" in out.lower()
+
+
+AVAIL_QUICK = [
+    "avail", "--shape", "16,8,8", "--ks", "1,2", "--disks", "2",
+    "--layouts", "naive,multimap", "--beams", "2",
+    "--drive", "minidrive", "--quiet",
+]
+
+
+class TestAvailSubcommand:
+    def test_runs_and_prints_tables(self, capsys):
+        rc = main(AVAIL_QUICK[:-1])  # without --quiet
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "healthy throughput" in out
+        assert "degraded throughput" in out
+        assert "multimap" in out
+
+    def test_json_file_output(self, tmp_path, capsys):
+        dest = tmp_path / "avail.json"
+        rc = main(AVAIL_QUICK + ["--json", str(dest)])
+        assert rc == 0
+        payload = json.loads(dest.read_text())
+        assert set(payload["naive"]) == {"1", "2"}
+        assert payload["meta"]["placement"] == "rotated"
+
+    def test_json_directory_output(self, tmp_path, capsys):
+        rc = main(AVAIL_QUICK + ["--json", str(tmp_path / "sub")])
+        assert rc == 0
+        assert (tmp_path / "sub" / "avail.json").exists()
+
+    def test_kill_disk_and_placement_flags(self, capsys):
+        rc = main(AVAIL_QUICK + [
+            "--kill-disk", "1", "--placement", "locality_aligned",
+            "--read-policy", "least_loaded",
+        ])
+        assert rc == 0
+
+    def test_rejects_unknown_placement(self, capsys):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(AVAIL_QUICK + ["--placement", "nope"])
 
 
 class TestSharedJsonWriter:

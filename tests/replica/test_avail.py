@@ -1,0 +1,77 @@
+"""The availability sweep (repro.replica.avail)."""
+
+import json
+
+import pytest
+
+from repro.errors import ReplicaError
+from repro.replica import render_avail_sweep, run_avail_sweep
+
+ARGS = dict(
+    layouts=("naive", "multimap"),
+    ks=(1, 2),
+    n_disks=2,
+    n_beams=3,
+    drive="minidrive",
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_avail_sweep((16, 8, 8), **ARGS)
+
+
+class TestRunAvailSweep:
+    def test_cells_and_meta(self, sweep):
+        assert set(sweep) == {"naive", "multimap", "meta"}
+        for layout in ("naive", "multimap"):
+            assert set(sweep[layout]) == {1, 2}
+            for k, cell in sweep[layout].items():
+                assert cell["k"] == k
+                assert cell["storage_overhead"] == k
+                assert cell["healthy_mb_per_s"] > 0
+        meta = sweep["meta"]
+        assert meta["n_disks"] == 2
+        assert meta["ks"] == [1, 2]
+        assert 0 <= meta["killed_disk"] < 2
+
+    def test_k2_fully_available(self, sweep):
+        for layout in ("naive", "multimap"):
+            cell = sweep[layout][2]
+            assert cell["availability"] == 1.0
+            assert cell["skipped"] == 0
+            assert cell["completed"] == 3
+            assert cell["degraded_mb_per_s"] > 0
+
+    def test_k1_loses_chunks(self, sweep):
+        for layout in ("naive", "multimap"):
+            cell = sweep[layout][1]
+            assert cell["availability"] < 1.0
+
+    def test_same_victim_for_every_cell(self):
+        a = run_avail_sweep((16, 8, 8), **ARGS)
+        b = run_avail_sweep((16, 8, 8), **ARGS)
+        assert a["meta"]["killed_disk"] == b["meta"]["killed_disk"]
+        assert json.dumps(a, default=str) == json.dumps(b, default=str)
+
+    def test_explicit_kill_disk(self):
+        data = run_avail_sweep(
+            (16, 8, 8), layouts=("naive",), ks=(2,), n_disks=2,
+            n_beams=2, drive="minidrive", seed=3, kill_disk=1,
+        )
+        assert data["meta"]["killed_disk"] == 1
+
+    def test_k_must_fit_disks(self):
+        with pytest.raises(ReplicaError, match="n_disks"):
+            run_avail_sweep((16, 8, 8), ks=(4,), n_disks=2,
+                            drive="minidrive")
+
+
+class TestRender:
+    def test_tables_render(self, sweep):
+        text = render_avail_sweep(sweep)
+        assert "healthy throughput" in text
+        assert "degraded throughput" in text
+        assert "availability" in text
+        assert "multimap" in text and "k=2" in text
