@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Writing at scale: streaming ingest through the bulk-load write path.
+
+Observation-based applications append new points in bulk (§4.6: "MultiMap
+can be used to allocate basic cubes to hold new points while preserving
+spatial locality").  This scenario streams a seeded, clustered record
+stream into every layout on a 2-disk sharded volume through the staged
+ingest pipeline — per-disk write buffers, locality-preserving flushes,
+replica-consistent writes — and compares write goodput (home-region
+MB/s laid down on the primaries).
+
+Expected shape: MultiMap packs each flush into whole basic cubes and
+lays them down as a few long sequential track-group runs (zero
+positioning cost beyond the initial seek), while the baselines scatter
+cell-sized writes across their placements and pay near-full revolutions
+between semi-adjacent blocks — so multimap's ingest MB/s beats every
+baseline.  The adaptive loader samples the stream first and sizes cells
+to the observed density, so clustered hot spots stop chaining into
+overflow pages; with the background reorganisation those chains force
+counted in (the §4.6 "expensive operation" a fixed plan defers), the
+adaptive plan meets or beats the fixed one on a skewed stream.
+
+Run:  python examples/streaming_ingest.py           (quick, < 1 s)
+      python examples/streaming_ingest.py --full    (more points)
+"""
+
+import argparse
+import sys
+import time
+
+from repro.ingest import render_ingest_sweep, run_ingest_sweep
+
+SHAPE = (32, 8, 8)
+LAYOUTS = ("naive", "zorder", "hilbert", "multimap")
+LOADERS = ("fixed", "adaptive")
+QUICK = dict(n_points=2048, batch_points=256, flush_points=512)
+FULL = dict(n_points=8192, batch_points=512, flush_points=1024)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="stream four times the points")
+    args = parser.parse_args(argv)
+    params = FULL if args.full else QUICK
+
+    t0 = time.time()
+    data = run_ingest_sweep(
+        SHAPE,
+        layouts=LAYOUTS,
+        loaders=LOADERS,
+        stream="clustered",
+        n_shards=2,
+        drive="minidrive",
+        seed=42,
+        reorganize=True,
+        **params,
+    )
+    print(render_ingest_sweep(data))
+
+    ok = True
+    multimap = data["multimap"]
+    for loader in LOADERS:
+        mm = multimap[loader]["mb_per_s"]
+        for layout in LAYOUTS:
+            if layout == "multimap":
+                continue
+            base = data[layout][loader]["mb_per_s"]
+            if mm < base:
+                print(f"FAIL: multimap {mm:.3f} MB/s < "
+                      f"{layout} {base:.3f} MB/s under {loader}")
+                ok = False
+    if multimap["adaptive"]["mb_per_s"] < multimap["fixed"]["mb_per_s"]:
+        print("FAIL: adaptive loader slower than fixed on the "
+              "clustered stream")
+        ok = False
+    if multimap["adaptive"]["overflow_points"] \
+            > multimap["fixed"]["overflow_points"]:
+        print("FAIL: adaptive loader overflowed more than fixed")
+        ok = False
+
+    elapsed = time.time() - t0
+    print(f"\n{'OK' if ok else 'FAILED'}: multimap beats every baseline "
+          f"under both loaders and adaptive >= fixed "
+          f"({elapsed:.2f}s)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

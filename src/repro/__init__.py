@@ -29,6 +29,7 @@ The layers underneath remain importable for direct use:
 ``repro.cache``     buffer pool, eviction policies, locality prefetch
 ``repro.shard``     multi-disk scale-out: shard maps, scatter-gather
 ``repro.replica``   fault tolerance: replicated shards, failure injection
+``repro.ingest``    streaming ingest, bulk loaders, write-path pipeline
 ``repro.traffic``   concurrent multi-client traffic simulation
 ``repro.datasets``  the paper's three evaluation datasets
 ``repro.analytic``  the expected-cost model
@@ -39,7 +40,7 @@ All façade attributes load lazily (PEP 562): ``import repro`` stays cheap.
 
 from __future__ import annotations
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: single source of truth for the lazy public surface: name -> module
 _LAZY_EXPORTS = {
@@ -79,6 +80,14 @@ _LAZY_EXPORTS = {
     "register_read_policy": "repro.replica",
     "register_strategy": "repro.lvm.striping",
     "strategy_names": "repro.lvm.striping",
+    "IngestRun": "repro.api.ingest",
+    "IngestPipeline": "repro.ingest",
+    "IngestReport": "repro.ingest",
+    "WriteMix": "repro.ingest",
+    "loader_names": "repro.ingest",
+    "register_loader": "repro.ingest",
+    "stream_names": "repro.ingest",
+    "register_stream": "repro.ingest",
 }
 
 __all__ = sorted([*_LAZY_EXPORTS, "__version__"])

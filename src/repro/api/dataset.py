@@ -261,6 +261,7 @@ class Dataset:
         )
         self._store: CellStore | None = None
         self._store_opts: dict = {}
+        self._ingest_spec: dict | None = None
 
     @classmethod
     def create(cls, shape, layout: str = "multimap",
@@ -328,6 +329,10 @@ class Dataset:
             **self._sm_opts,
         )
         clone._store_opts = dict(self._store_opts)
+        if self._ingest_spec is not None:
+            # same ingest spec (stream/loader/knobs) on the clone, so
+            # per-layout ingest comparisons share their write workload
+            clone._ingest_spec = dict(self._ingest_spec)
         if self._shard_spec is not None:
             # same declustering on a fresh identical multi-disk volume;
             # seeding the replica spec first lets with_shards delegate
@@ -721,6 +726,51 @@ class Dataset:
 
         return TrafficRun(self)
 
+    # ------------------------------------------------------------------
+    # streaming ingest (repro.ingest) — the write path at scale
+    # ------------------------------------------------------------------
+
+    def with_ingest(self, stream="uniform", loader: str = "fixed",
+                    **opts) -> "Dataset":
+        """Attach a streaming-ingest spec (chainable).
+
+        ``stream``/``loader`` resolve through the
+        :data:`repro.ingest.STREAMS` / :data:`repro.ingest.LOADERS`
+        registries (validated now, so a typo'd sweep cell fails loudly);
+        extra keywords (``n_points``, ``batch_points``,
+        ``flush_points``, ``seed``, stream options like ``n_clusters``)
+        become the defaults of :meth:`ingest` runs.  The spec is carried
+        through :meth:`with_layout` clones — like the cache spec — so
+        per-layout ingest comparisons share their write workload, and it
+        survives :meth:`with_shards` / :meth:`with_replication` (which
+        mutate in place).
+        """
+        from repro.ingest import LOADERS, STREAMS
+        from repro.ingest.streams import RecordStream
+
+        if isinstance(stream, str):
+            STREAMS.get(stream)
+        elif not (isinstance(stream, RecordStream)
+                  or (isinstance(stream, type)
+                      and issubclass(stream, RecordStream))):
+            raise DatasetError(
+                f"stream must be a registered name or RecordStream, "
+                f"got {type(stream).__name__}"
+            )
+        if isinstance(loader, str):
+            LOADERS.get(loader)
+        self._ingest_spec = dict(stream=stream, loader=loader, **opts)
+        return self
+
+    def ingest(self, **overrides) -> "IngestRun":
+        """A fluent streaming-ingest run bound to this dataset (the
+        write-path analogue of :meth:`query`); see
+        :class:`repro.api.ingest.IngestRun`.  Keyword overrides layer on
+        top of any :meth:`with_ingest` spec."""
+        from repro.api.ingest import IngestRun
+
+        return IngestRun(self, overrides)
+
     def run(self, queries: Iterable | QueryBatch | None = None, *,
             repeats: int | None = None,
             rng: np.random.Generator | None = None) -> Report:
@@ -770,7 +820,8 @@ class Dataset:
         ):
             raise DatasetError(
                 "online updates (CellStore) are not supported on "
-                "sharded datasets; run them on the unsharded stack"
+                "sharded datasets; stream writes through "
+                "Dataset.ingest() instead"
             )
         return mapper if chunk_mappers is None else chunk_mappers[0]
 
@@ -888,6 +939,13 @@ class Dataset:
             # gated on k > 1: a single-copy dataset reports as the
             # sharded stack it is bit-identical to
             out["replicas"] = dict(self._replica_spec)
+        if self._ingest_spec is not None:
+            # gated so read-only datasets keep the pre-ingest JSON layout
+            out["ingest"] = {
+                k: (v if isinstance(v, (str, int, float, bool, type(None)))
+                    else str(v))
+                for k, v in self._ingest_spec.items()
+            }
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

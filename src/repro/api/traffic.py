@@ -44,6 +44,7 @@ class TrafficRun:
     def __init__(self, dataset):
         self._dataset = dataset
         self._specs: list[tuple] = []  # (name, mix, arrival, n_queries)
+        self._ingest_specs: list[tuple] = []  # (name, arrival, overrides)
         self._slice_runs: int | None = 256
         self._head = "random"
         self._horizon_ms: float | None = None
@@ -114,6 +115,27 @@ class TrafficRun:
             queries=queries,
             name=name,
         )
+
+    def ingest(self, *, arrival: ArrivalProcess | None = None,
+               name: str | None = None, **overrides) -> "TrafficRun":
+        """Append an ingest client streaming writes into the dataset.
+
+        Options layer on any :meth:`Dataset.with_ingest` spec exactly
+        like :meth:`Dataset.ingest` runs (``stream``, ``loader``,
+        ``n_points``, ``batch_points``, ``flush_points``, ``seed``,
+        stream options).  The client submits one batch per arrival and
+        flushes ride the event heap as write sub-plans, contending with
+        read queries at the drives.  Ingest clients are wired **after**
+        every read client regardless of call order, so a storm's read
+        streams are seeded identically with the ingest client attached
+        or not — the mixed-storm parity condition.
+        """
+        idx = len(self._ingest_specs)
+        cname = name if name is not None else f"ingest{idx}"
+        self._ingest_specs.append(
+            (cname, arrival or ClosedLoop(), dict(overrides))
+        )
+        return self
 
     # ------------------------------------------------------------------
     # engine knobs
@@ -194,15 +216,16 @@ class TrafficRun:
         directly (mirroring ``QueryBatch.run(rng=...)``); several clients
         get independent generators seeded from its draws.
         """
-        if not self._specs:
+        if not self._specs and not self._ingest_specs:
             raise QueryError("add at least one client before run()")
         ds = self._dataset
+        n_clients = len(self._specs) + len(self._ingest_specs)
         if rng is None:
-            rngs = [ds.rng() for _ in self._specs]
-        elif len(self._specs) == 1:
+            rngs = [ds.rng() for _ in range(n_clients)]
+        elif n_clients == 1:
             rngs = [rng]
         else:
-            seeds = rng.integers(2**63, size=len(self._specs))
+            seeds = rng.integers(2**63, size=n_clients)
             rngs = [np.random.default_rng(int(s)) for s in seeds]
         clients = [
             TrafficClient(
@@ -217,6 +240,35 @@ class TrafficRun:
             for (name, mix, arrival, queries), crng
             in zip(self._specs, rngs)
         ]
+        for (name, arrival, overrides), crng in zip(
+            self._ingest_specs, rngs[len(self._specs):]
+        ):
+            # reuse the IngestRun option resolution (with_ingest spec +
+            # overrides), then wire a client whose query count is the
+            # stream's batch count — the final batch drains every buffer
+            from repro.api.ingest import IngestRun
+            from repro.ingest.pipeline import IngestPipeline
+            from repro.ingest.traffic import IngestClient, WriteMix
+
+            opts = IngestRun(ds, overrides)
+            stream = opts.build_stream()
+            pipeline = IngestPipeline(
+                ds, stream, opts.loader_spec,
+                flush_points=opts.flush_points,
+                loader_opts=opts.loader_opts,
+            )
+            clients.append(
+                IngestClient(
+                    name=name,
+                    storage=ds.storage,
+                    mapper=ds.mapper,
+                    mix=WriteMix(stream),
+                    arrival=arrival,
+                    n_queries=stream.n_batches,
+                    rng=crng,
+                    pipeline=pipeline,
+                )
+            )
         config = TrafficConfig(
             slice_runs=self._slice_runs,
             head=self._head,

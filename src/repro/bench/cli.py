@@ -1,19 +1,21 @@
 """Command-line entry point: ``python -m repro.bench`` / ``repro-bench``
 (also installed as ``multimap-bench``).
 
-Five modes: the default regenerates paper figures, the ``traffic``
+Six modes: the default regenerates paper figures, the ``traffic``
 subcommand runs the multi-client traffic storm
 (:func:`repro.traffic.storm.run_storm`), the ``cache`` subcommand
 sweeps buffer-pool capacities per layout
 (:func:`repro.cache.sweep.run_cache_sweep`), the ``scale`` subcommand
 sweeps shard counts per layout
-(:func:`repro.shard.scale.run_scale_sweep`), and the ``avail``
-subcommand sweeps replication factors under a seeded disk failure
-(:func:`repro.replica.avail.run_avail_sweep`).  The ``--list-*`` flags
+(:func:`repro.shard.scale.run_scale_sweep`), the ``avail`` subcommand
+sweeps replication factors under a seeded disk failure
+(:func:`repro.replica.avail.run_avail_sweep`), and the ``ingest``
+subcommand sweeps ingest goodput per layout x bulk loader
+(:func:`repro.ingest.sweep.run_ingest_sweep`).  The ``--list-*`` flags
 (layouts, drives, strategies, cache policies, prefetchers, replica
-placements, read policies) print the registered names with
-descriptions and exit, so users can discover what every registry holds
-without reading source.
+placements, read policies, loaders, streams) print the registered
+names with descriptions and exit, so users can discover what every
+registry holds without reading source.
 
 Examples::
 
@@ -30,6 +32,9 @@ Examples::
     repro-bench scale --strategy cube_aligned --json scale.json
     repro-bench avail --shape 64,16,16 --disks 3 --ks 1,2,3
     repro-bench avail --placement locality_aligned --json avail.json
+    repro-bench --list-loaders --list-streams
+    repro-bench ingest --shape 64,16,16 --stream clustered --k 2
+    repro-bench ingest --loaders fixed,adaptive --json ingest.json
 """
 
 from __future__ import annotations
@@ -306,6 +311,20 @@ def _list_registries(args) -> bool:
             (name, entry.description)
             for name, entry in READ_POLICIES.items()
         ]))
+    if args.list_loaders:
+        from repro.ingest import LOADERS
+
+        sections.append(("bulk loaders", [
+            (name, entry.description)
+            for name, entry in LOADERS.items()
+        ]))
+    if args.list_streams:
+        from repro.ingest import STREAMS
+
+        sections.append(("record streams", [
+            (name, entry.description)
+            for name, entry in STREAMS.items()
+        ]))
     for kind, rows in sections:
         print(f"registered {kind}:")
         width = max((len(name) for name, _ in rows), default=0)
@@ -377,6 +396,76 @@ def _add_avail_parser(subparsers) -> None:
     p.add_argument("--quiet", action="store_true",
                    help="suppress table output")
     p.set_defaults(func=_avail_main)
+
+
+def _ingest_main(args) -> int:
+    from repro.ingest import render_ingest_sweep, run_ingest_sweep
+
+    data = run_ingest_sweep(
+        _csv_ints(args.shape),
+        layouts=_csv_strs(args.layouts),
+        loaders=_csv_strs(args.loaders),
+        stream=args.stream,
+        n_points=args.points,
+        batch_points=args.batch_points,
+        flush_points=args.flush_points,
+        n_shards=args.shards,
+        k=args.k,
+        strategy=args.strategy,
+        drive=args.drive,
+        seed=args.seed,
+        reorganize=args.reorganize,
+    )
+    if not args.quiet:
+        print(render_ingest_sweep(data))
+    if args.json:
+        _write_json_report(args.json, data, "ingest.json", args.quiet)
+    return 0
+
+
+def _add_ingest_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "ingest",
+        help="ingest-MB/s sweep, layouts x loaders",
+        description="Stream a seeded record stream into each layout "
+        "under each registered bulk loader (buffered, flushed as whole "
+        "basic cubes, replica-consistent) and report write goodput and "
+        "overflow per mapping — the write-path half of MultiMap's "
+        "locality dividend.",
+    )
+    p.add_argument("--shape", default="64,16,16",
+                   help="dataset dims, comma-separated (default 64,16,16)")
+    p.add_argument("--layouts", default="naive,zorder,hilbert,multimap",
+                   help="comma-separated registered layouts")
+    p.add_argument("--loaders", default="fixed,adaptive",
+                   help="comma-separated registered loaders")
+    p.add_argument("--stream", default="clustered",
+                   help="registered record stream "
+                   "(uniform, clustered, drifting)")
+    p.add_argument("--points", type=int, default=4096,
+                   help="points streamed per cell (default 4096)")
+    p.add_argument("--batch-points", type=int, default=256,
+                   help="points per arriving batch (default 256)")
+    p.add_argument("--flush-points", type=int, default=1024,
+                   help="per-disk backlog that triggers a flush")
+    p.add_argument("--shards", type=int, default=2,
+                   help="member disks (default 2)")
+    p.add_argument("--k", type=int, default=1,
+                   help="replication factor (default 1)")
+    p.add_argument("--strategy", default="disk_modulo",
+                   help="registered declustering strategy")
+    p.add_argument("--reorganize", action="store_true",
+                   help="fold overflow chains back after the stream "
+                   "(modelled background I/O counted in total time)")
+    p.add_argument("--drive", default="minidrive",
+                   help="registered drive model (default minidrive)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="stream + head-position seed")
+    p.add_argument("--json", default=None,
+                   help="JSON output file (or directory)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress table output")
+    p.set_defaults(func=_ingest_main)
 
 
 def _add_traffic_parser(subparsers) -> None:
@@ -475,11 +564,20 @@ def main(argv=None) -> int:
         "--list-read-policies", action="store_true",
         help="print registered replica read policies and exit",
     )
+    parser.add_argument(
+        "--list-loaders", action="store_true",
+        help="print registered bulk loaders and exit",
+    )
+    parser.add_argument(
+        "--list-streams", action="store_true",
+        help="print registered record streams and exit",
+    )
     subparsers = parser.add_subparsers(dest="command")
     _add_traffic_parser(subparsers)
     _add_cache_parser(subparsers)
     _add_scale_parser(subparsers)
     _add_avail_parser(subparsers)
+    _add_ingest_parser(subparsers)
     args = parser.parse_args(argv)
     listed = _list_registries(args)
     if args.command is not None:

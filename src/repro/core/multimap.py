@@ -276,6 +276,32 @@ class MultiMapMapper(Mapper):
         rec, track_delta, sector, spt = self._locate(arr)
         return self._rec_lbn[rec] + track_delta * spt + sector
 
+    def write_extents(self, coords) -> tuple[np.ndarray, np.ndarray]:
+        """Whole-cube write extents covering ``coords`` (§4.6 bulk load).
+
+        A bulk load flushes buffered points as *whole basic cubes*: each
+        touched cube's track group is laid down start to end as one long
+        sequential run — "MultiMap can be used to allocate basic cubes
+        to hold new points while preserving spatial locality" — instead
+        of scattering cell-sized writes across the semi-sequential
+        placement (whose ascending-LBN hops land just behind the head
+        and pay near-full revolutions).  Returns sorted unique
+        ``(starts, lengths)`` covering extents; packed cube groups share
+        one extent.
+        """
+        arr = self._check_coords(coords)
+        cube_idx = (arr // self._K_arr) @ self._grid_strides
+        rec = (
+            np.searchsorted(self._rec_first_cube, cube_idx, side="right") - 1
+        )
+        local = cube_idx - self._rec_first_cube[rec]
+        group = local // self._rec_pack[rec]
+        spt = self._rec_spt[rec]
+        tpc = self._tracks_per_cube
+        starts = self._rec_lbn[rec] + group * tpc * spt
+        uniq, idx = np.unique(starts, return_index=True)
+        return uniq, (tpc * spt)[idx]
+
     def append_slabs(self, n_cells: int) -> None:
         """Bulk-append ``n_cells`` along the last dimension (§4.6).
 

@@ -88,6 +88,9 @@ class CellStore:
             mapper.disk_index, max_overflow_pages
         )
         self._next_overflow_page = 0
+        # overflow-page LBNs written to since the last drain (ingest
+        # flushes read this to know which chain pages need disk writes)
+        self._touched_pages: set[int] = set()
 
     # ------------------------------------------------------------------
     # addressing helpers
@@ -168,6 +171,29 @@ class CellStore:
         take = min(n, int(self._occupancy[cell]))
         self._occupancy[cell] -= take
 
+    def bulk_insert(self, coords, counts=None) -> int:
+        """Vectorised :meth:`insert`: absorb into free cell space at full
+        capacity (the fill-factor budget only applies to the initial
+        load), spill the rest.  Returns the number of overflowed points.
+        """
+        flat = self._flat(coords)
+        if counts is None:
+            counts = np.ones(flat.shape, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        totals = np.bincount(
+            flat, weights=counts, minlength=self.mapper.n_cells
+        ).astype(np.int64)
+        free = np.maximum(self.points_per_cell - self._occupancy, 0)
+        absorbed = np.minimum(totals, free)
+        self._occupancy += absorbed
+        self._loaded |= totals > 0
+        overflowed = 0
+        for cell in np.flatnonzero(totals > absorbed):
+            extra = int(totals[cell] - absorbed[cell])
+            overflowed += extra
+            self._spill(int(cell), extra)
+        return overflowed
+
     def _spill(self, cell: int, n: int) -> None:
         pages = self._overflow.setdefault(cell, [])
         while n > 0:
@@ -175,6 +201,7 @@ class CellStore:
                 take = min(n, self.points_per_cell - pages[-1][1])
                 pages[-1][1] += take
                 n -= take
+                self._touched_pages.add(pages[-1][0])
                 continue
             if self._next_overflow_page >= self._overflow_extent.nblocks:
                 raise MappingError("overflow extent exhausted")
@@ -201,6 +228,32 @@ class CellStore:
         return RequestPlan(starts, lengths, policy="sorted", merge_gap=0)
 
     # ------------------------------------------------------------------
+    # write bookkeeping (ingest flushes)
+    # ------------------------------------------------------------------
+
+    @property
+    def overflow_extent(self):
+        """The overflow pages' extent (ingest maps its page indices onto
+        per-replica twin extents)."""
+        return self._overflow_extent
+
+    def drain_touched_pages(self) -> np.ndarray:
+        """Sorted LBNs of overflow pages dirtied since the last drain,
+        clearing the dirty set."""
+        pages = np.array(sorted(self._touched_pages), dtype=np.int64)
+        self._touched_pages.clear()
+        return pages
+
+    def chained_cells(self) -> np.ndarray:
+        """Sorted flat indices of cells with live overflow chains."""
+        return np.array(sorted(self._overflow), dtype=np.int64)
+
+    def overflow_page_lbns(self) -> np.ndarray:
+        """Sorted LBNs of every live overflow page."""
+        lbns = [p[0] for chain in self._overflow.values() for p in chain]
+        return np.array(sorted(lbns), dtype=np.int64)
+
+    # ------------------------------------------------------------------
     # reclamation
     # ------------------------------------------------------------------
 
@@ -213,6 +266,18 @@ class CellStore:
     @property
     def needs_reorganization(self) -> bool:
         return self.underflow_cells.size > 0
+
+    def required_capacity(self) -> int:
+        """Smallest per-cell capacity that would fold every live chain
+        back into its cell (the §4.6 re-provisioning target: size cells
+        to the density the stream actually delivered)."""
+        need = self.points_per_cell
+        for cell, chain in self._overflow.items():
+            need = max(
+                need,
+                int(self._occupancy[cell]) + sum(p[1] for p in chain),
+            )
+        return need
 
     def reorganize(self) -> int:
         """Fold overflow chains back into cells where they now fit and
@@ -233,6 +298,7 @@ class CellStore:
                 if page[1] == 0:
                     chain.pop()
                     freed += 1
+                    self._touched_pages.discard(page[0])
                 else:
                     break
             if not chain:

@@ -53,3 +53,9 @@ class CacheError(ReproError):
 class ReplicaError(ReproError):
     """Raised by :mod:`repro.replica` for invalid replication configuration
     or unreadable data (every copy of a chunk on failed disks)."""
+
+
+class IngestError(ReproError):
+    """Raised by :mod:`repro.ingest` for invalid stream/loader
+    configuration or an unserviceable flush (e.g. every copy of a
+    chunk's write targets on failed disks)."""

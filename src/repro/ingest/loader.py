@@ -1,0 +1,168 @@
+"""Bulk-loading strategies: fixed vs adaptive cell/chunk sizing.
+
+A loader inspects the dataset and the incoming stream *before* any
+point is buffered and fixes the knobs the pipeline will load under: the
+per-cell point capacity, the initial fill factor, and (on sharded
+datasets) a suggested chunk shape.  The ``fixed`` loader keeps the
+configured defaults; the ``adaptive`` loader follows the sampling idea
+of "Fast and Adaptive Bulk Loading of Multidimensional Points": it
+draws a seeded sample from the stream, estimates the per-cell density
+at a high quantile to size cells so hot cells do not spill to overflow
+chains, and picks the chunk split axis whose marginal distribution is
+flattest across the member disks (least imbalanced slabs).
+
+Loaders are registered in :data:`LOADERS` (``repro-bench
+--list-loaders``) with the plain ``fn(dataset, stream, **opts) ->
+IngestPlan`` shape, mirroring the read policies' registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import IngestError
+from repro.registry import Registry, first_doc_line
+
+__all__ = [
+    "LOADERS",
+    "IngestPlan",
+    "LoaderEntry",
+    "loader_names",
+    "register_loader",
+    "resolve_loader",
+]
+
+
+@dataclass(frozen=True)
+class IngestPlan:
+    """The knobs a loader fixed for one ingest run."""
+
+    points_per_cell: int
+    fill_factor: float
+    chunk_shape: tuple | None = None
+    meta: dict = field(default_factory=dict)
+
+    def describe(self) -> dict:
+        return {
+            "points_per_cell": int(self.points_per_cell),
+            "fill_factor": float(self.fill_factor),
+            "chunk_shape": (
+                None if self.chunk_shape is None else list(self.chunk_shape)
+            ),
+            **{k: v for k, v in self.meta.items()},
+        }
+
+
+@dataclass(frozen=True)
+class LoaderEntry:
+    """A registered bulk-loading strategy.
+
+    ``fn(dataset, stream, **opts)`` returns an :class:`IngestPlan`; it
+    must not mutate either argument (sampling uses the stream's
+    independent substream).
+    """
+
+    name: str
+    fn: Callable
+    description: str = ""
+
+
+#: loader-name -> :class:`LoaderEntry`; builtins live in this module,
+#: so importing it is the whole population step
+LOADERS = Registry("loader")
+
+
+def register_loader(name: str, *, description: str = ""):
+    """Function decorator adding a loading strategy to
+    :data:`LOADERS`."""
+
+    def deco(fn):
+        desc = description or first_doc_line(fn)
+        LOADERS.add(name, LoaderEntry(name, fn, desc))
+        return fn
+
+    return deco
+
+
+def loader_names() -> tuple[str, ...]:
+    return LOADERS.names()
+
+
+def resolve_loader(spec) -> LoaderEntry:
+    """Resolve a loader spec (registered name or entry) to its entry."""
+    if isinstance(spec, LoaderEntry):
+        return spec
+    if isinstance(spec, str):
+        return LOADERS.get(spec)
+    raise IngestError(
+        f"unknown loader spec {spec!r} (registered: "
+        f"{', '.join(loader_names())})"
+    )
+
+
+@register_loader("fixed")
+def _fixed(dataset, stream, *, points_per_cell: int = 16,
+           fill_factor: float = 1.0, **_ignored) -> IngestPlan:
+    """Keep the configured chunking and a fixed per-cell capacity."""
+    return IngestPlan(
+        points_per_cell=int(points_per_cell),
+        fill_factor=float(fill_factor),
+        chunk_shape=None,
+        meta={"loader": "fixed"},
+    )
+
+
+@register_loader("adaptive")
+def _adaptive(dataset, stream, *, points_per_cell: int = 16,
+              fill_factor: float = 1.0, sample_points: int = 512,
+              quantile: float = 0.98, headroom: float = 1.25,
+              **_ignored) -> IngestPlan:
+    """Sample the stream: size cells to the observed density, split
+    chunks along the flattest marginal."""
+    if not 0.0 < quantile <= 1.0:
+        raise IngestError("quantile must be in (0, 1]")
+    if headroom < 1.0:
+        raise IngestError("headroom must be >= 1")
+    sample = stream.sample(min(int(sample_points), stream.n_points))
+    dims = tuple(int(s) for s in dataset.shape)
+
+    # per-cell density estimate: quantile of the sampled occupancy,
+    # scaled up to the full stream, with headroom against undersampling
+    strides = np.cumprod((1,) + dims[:-1]).astype(np.int64)
+    flat = sample @ strides
+    _, cnt = np.unique(flat, return_counts=True)
+    scale = stream.n_points / len(sample)
+    est = float(np.quantile(cnt, quantile)) * scale * headroom
+    ppc = int(np.clip(np.ceil(est), points_per_cell, 4096))
+
+    # chunk split axis: slab the axis whose marginal spreads the sample
+    # most evenly over n_shards slabs (ties keep the last-axis default)
+    chunk_shape = None
+    split_axis = None
+    n = int(getattr(dataset, "n_shards", 1))
+    if n > 1:
+        imbalance = []
+        for d, s in enumerate(dims):
+            hist, _ = np.histogram(sample[:, d],
+                                   bins=np.linspace(0, s, n + 1))
+            imbalance.append(hist.max() * n / len(sample))
+        rev = imbalance[::-1]
+        split_axis = len(dims) - 1 - int(np.argmin(rev))
+        shape = list(dims)
+        shape[split_axis] = -(-dims[split_axis] // n)
+        chunk_shape = tuple(shape)
+
+    return IngestPlan(
+        points_per_cell=ppc,
+        fill_factor=float(fill_factor),
+        chunk_shape=chunk_shape,
+        meta={
+            "loader": "adaptive",
+            "sampled_points": int(len(sample)),
+            "estimated_cell_points": est,
+            "split_axis": split_axis,
+        },
+    )

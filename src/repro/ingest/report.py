@@ -1,0 +1,110 @@
+"""The ingest run report: throughput, breakdown, store occupancy."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["IngestReport"]
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Outcome of one :meth:`repro.api.Dataset.ingest` run.
+
+    ``mb_per_s`` is *goodput*: home-cube bytes acknowledged on the
+    primary copies per second of total pipeline time (staging + write
+    makespans + any reorganisation window).  Overflow-chain and replica
+    traffic cost time but add no goodput, so an adaptive plan that
+    avoids chains — or a layout that writes cubes sequentially — shows
+    up directly.
+    """
+
+    layout: str
+    drive: str
+    shape: tuple[int, ...]
+    stream: dict
+    loader: str
+    plan: dict
+    n_points: int
+    n_batches: int
+    flushes: int
+    acked_batches: int
+    stage_ms: float
+    write_ms: float
+    reorg: dict | None
+    total_ms: float
+    home_blocks: int
+    blocks_written: int
+    overflow_points: int
+    skipped_copy_writes: int
+    per_disk_busy_ms: dict = field(default_factory=dict)
+    store: dict = field(default_factory=dict)
+
+    @property
+    def mb_per_s(self) -> float:
+        if self.total_ms <= 0:
+            return 0.0
+        return (self.home_blocks * 512 / 1e6) / (self.total_ms / 1000.0)
+
+    @property
+    def points_per_s(self) -> float:
+        if self.total_ms <= 0:
+            return 0.0
+        return self.n_points / (self.total_ms / 1000.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "layout": self.layout,
+            "drive": self.drive,
+            "shape": list(self.shape),
+            "stream": self.stream,
+            "loader": self.loader,
+            "plan": self.plan,
+            "n_points": int(self.n_points),
+            "n_batches": int(self.n_batches),
+            "flushes": int(self.flushes),
+            "acked_batches": int(self.acked_batches),
+            "stage_ms": float(self.stage_ms),
+            "write_ms": float(self.write_ms),
+            "reorg": self.reorg,
+            "total_ms": float(self.total_ms),
+            "home_blocks": int(self.home_blocks),
+            "blocks_written": int(self.blocks_written),
+            "overflow_points": int(self.overflow_points),
+            "skipped_copy_writes": int(self.skipped_copy_writes),
+            "per_disk_busy_ms": {
+                str(d): float(ms)
+                for d, ms in sorted(self.per_disk_busy_ms.items())
+            },
+            "store": self.store,
+            "mb_per_s": self.mb_per_s,
+            "points_per_s": self.points_per_s,
+        }
+
+    def to_json(self, **kwargs) -> str:
+        kwargs.setdefault("indent", 2)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def render(self) -> str:
+        lines = [
+            f"ingest: {self.n_points} points -> {self.layout} "
+            f"({self.loader} loader) on {self.drive}",
+            f"  batches            {self.n_batches:>10d}  "
+            f"(acked {self.acked_batches}, {self.flushes} flushes)",
+            f"  stage / write ms   {self.stage_ms:>10.3f}  "
+            f"/ {self.write_ms:.3f}",
+            f"  total ms           {self.total_ms:>10.3f}",
+            f"  goodput MB/s       {self.mb_per_s:>10.3f}  "
+            f"({self.points_per_s:,.0f} points/s)",
+            f"  blocks written     {self.blocks_written:>10d}  "
+            f"(home {self.home_blocks})",
+            f"  overflow points    {self.overflow_points:>10d}",
+        ]
+        if self.reorg is not None:
+            lines.append(
+                f"  reorg ms           "
+                f"{self.reorg['reorg_ms']:>10.3f}  "
+                f"(freed {self.reorg['pages_freed']} pages)"
+            )
+        return "\n".join(lines)

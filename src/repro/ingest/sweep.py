@@ -1,0 +1,147 @@
+"""Ingest throughput sweeps: write-path MB/s, layouts × loaders.
+
+``run_ingest_sweep`` streams one fixed, seeded record stream into each
+registered layout under each registered loader and records goodput —
+the write-path analogue of the scale-out sweep.  Every (layout, loader)
+cell builds a fresh same-seed dataset, shards it identically, and
+replays the *identical* stream, so only the placement (where cells land
+on the platter) and the ingest plan (cell capacity, chunk split) differ.
+
+The expected shape: MultiMap's flushes write whole basic cubes as a few
+long sequential runs, so its goodput beats the space-filling curves
+(whose buffered cells scatter across the platter) and naive (bound by
+its worst axis); the adaptive loader samples the stream's density and
+sizes cells so clustered hot spots don't chain into overflow pages,
+so on a skewed stream ``adaptive`` ≥ ``fixed`` for every layout.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import render_table
+
+__all__ = ["run_ingest_sweep", "render_ingest_sweep"]
+
+DEFAULT_LAYOUTS = ("naive", "zorder", "hilbert", "multimap")
+DEFAULT_LOADERS = ("fixed", "adaptive")
+
+
+def run_ingest_sweep(
+    shape,
+    layouts=DEFAULT_LAYOUTS,
+    loaders=DEFAULT_LOADERS,
+    *,
+    stream: str = "clustered",
+    stream_opts: dict | None = None,
+    n_points: int = 4096,
+    batch_points: int = 256,
+    flush_points: int = 1024,
+    n_shards: int = 2,
+    k: int = 1,
+    strategy: str = "disk_modulo",
+    drive: str = "atlas10k3",
+    seed: int = 42,
+    reorganize: bool = False,
+    dataset_opts: dict | None = None,
+) -> dict:
+    """Sweep layouts × loaders under one fixed record stream.
+
+    Returns ``layout -> {loader: cell}`` where each cell carries the
+    goodput, timing breakdown, and overflow counts of one
+    :class:`~repro.ingest.report.IngestReport`, plus a ``meta`` entry
+    recording the sweep parameters.  Streams are seeded and re-drawn
+    identically per cell; the chunk grid is the shard default for every
+    cell (the adaptive loader's chunk-shape suggestion depends only on
+    the stream sample, so when it re-chunks, it re-chunks every layout
+    the same way — the fairness condition of the sweep).
+    """
+    from repro.api.dataset import Dataset
+
+    shape = tuple(int(s) for s in shape)
+    data: dict = {}
+    for layout in layouts:
+        per_loader: dict = {}
+        for loader in loaders:
+            ds = Dataset.create(
+                shape, layout=layout, drive=drive, seed=seed,
+                **(dataset_opts or {}),
+            )
+            if int(n_shards) > 1:
+                ds = ds.with_shards(int(n_shards), strategy=strategy)
+            if int(k) > 1:
+                ds = ds.with_replication(int(k))
+            report = ds.with_ingest(
+                stream=stream,
+                loader=loader,
+                n_points=int(n_points),
+                batch_points=int(batch_points),
+                flush_points=int(flush_points),
+                seed=int(seed),
+                reorganize=bool(reorganize),
+                **(stream_opts or {}),
+            ).ingest().run()
+            per_loader[loader] = {
+                "mb_per_s": report.mb_per_s,
+                "points_per_s": report.points_per_s,
+                "stage_ms": report.stage_ms,
+                "write_ms": report.write_ms,
+                "total_ms": report.total_ms,
+                "flushes": report.flushes,
+                "home_blocks": report.home_blocks,
+                "blocks_written": report.blocks_written,
+                "overflow_points": report.overflow_points,
+                "plan": report.plan,
+            }
+        data[layout] = per_loader
+    data["meta"] = {
+        "shape": list(shape),
+        "drive": drive if isinstance(drive, str) else getattr(
+            drive, "name", str(drive)
+        ),
+        "stream": str(stream),
+        "stream_opts": dict(stream_opts or {}),
+        "n_points": int(n_points),
+        "batch_points": int(batch_points),
+        "flush_points": int(flush_points),
+        "n_shards": int(n_shards),
+        "k": int(k),
+        "strategy": str(strategy),
+        "seed": int(seed),
+        "reorganize": bool(reorganize),
+        "layouts": [str(layout) for layout in layouts],
+        "loaders": [str(ld) for ld in loaders],
+    }
+    return data
+
+
+def _layout_rows(data: dict, metric) -> tuple[list[str], list[list]]:
+    loaders = data["meta"]["loaders"]
+    rows = []
+    for layout in data["meta"]["layouts"]:
+        per_loader = data[layout]
+        rows.append(
+            [layout] + [metric(per_loader[ld]) for ld in loaders]
+        )
+    return loaders, rows
+
+
+def render_ingest_sweep(data: dict) -> str:
+    """Goodput and overflow tables, loader columns per layout."""
+    meta = data["meta"]
+    parts = [
+        f"ingest sweep: shape={tuple(meta['shape'])} on {meta['drive']}, "
+        f"{meta['n_points']} points of {meta['stream']} stream, "
+        f"{meta['n_shards']} shard(s) x{meta['k']}, seed={meta['seed']}"
+    ]
+    loaders, rows = _layout_rows(data, lambda c: f"{c['mb_per_s']:.3f}")
+    headers = ["layout"] + [f"{ld} MB/s" for ld in loaders]
+    parts.append("ingest goodput (MB/s) per loader")
+    parts.append(render_table(headers, rows))
+    _, rows = _layout_rows(data, lambda c: f"{c['overflow_points']}")
+    headers = ["layout"] + [f"{ld} spills" for ld in loaders]
+    parts.append("overflowed points per loader")
+    parts.append(render_table(headers, rows))
+    _, rows = _layout_rows(data, lambda c: f"{c['write_ms']:.2f}")
+    headers = ["layout"] + [f"{ld} write ms" for ld in loaders]
+    parts.append("write makespan (ms) per loader")
+    parts.append(render_table(headers, rows))
+    return "\n\n".join(parts)

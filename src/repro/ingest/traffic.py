@@ -1,0 +1,89 @@
+"""Mixed read/write storms: the ingest side of the traffic engine.
+
+A :class:`WriteMix` is a query mix whose "queries" are
+:class:`IngestBatch` es drawn off a seeded record stream, and an
+:class:`IngestClient` is a traffic client that prepares those batches
+through an :class:`~repro.ingest.pipeline.IngestPipeline` instead of
+the read planner — so ingest jobs ride the same event heap, drive
+queues, and completion bookkeeping as every read query, and writes
+contend with reads at the platter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ingest.pipeline import IngestPipeline
+from repro.ingest.streams import RecordStream
+from repro.traffic.clients import TrafficClient
+
+__all__ = ["IngestBatch", "IngestClient", "WriteMix"]
+
+
+@dataclass(frozen=True)
+class IngestBatch:
+    """One drawn batch of points, submitted like a query."""
+
+    coords: np.ndarray
+    index: int
+    final: bool
+
+    @property
+    def traffic_label(self) -> str:
+        return f"ingest[{len(self.coords)}]"
+
+
+class WriteMix:
+    """Draws the stream's batches, in order, as traffic "queries".
+
+    Restarting at index 0 replays the stream from the top (streams are
+    seeded), so repeated runs stay bit-identical; the client's own rng
+    is untouched — it still drives arrivals and head draws.
+    """
+
+    def __init__(self, stream: RecordStream):
+        self.stream = stream
+        self._iter = None
+
+    def draw(self, dims, rng: np.random.Generator, index: int):
+        if index == 0 or self._iter is None:
+            self._iter = self.stream.batches()
+        coords = next(self._iter)
+        return IngestBatch(
+            coords=coords,
+            index=int(index),
+            final=index >= self.stream.n_batches - 1,
+        )
+
+    def describe(self) -> str:
+        return f"write:{self.stream.kind}[{self.stream.n_points}]"
+
+
+@dataclass
+class IngestClient(TrafficClient):
+    """A traffic client whose submissions are ingest batches.
+
+    ``mix`` must be a :class:`WriteMix` and ``pipeline`` the staged
+    pipeline its batches flow through; ``n_queries`` should equal the
+    stream's batch count so the final batch drains every buffer.
+    """
+
+    pipeline: IngestPipeline | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.pipeline is None:
+            raise TypeError("IngestClient needs a pipeline")
+
+    def prepare(self, query):
+        return self.pipeline.prepare_batch(query.coords,
+                                           final=query.final)
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out["role"] = "ingest"
+        out["loader"] = self.pipeline.loader.name
+        out["flush_points"] = self.pipeline.flush_points
+        return out

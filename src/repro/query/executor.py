@@ -19,17 +19,18 @@ storage manager.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
 from repro.disk.drive import BatchResult
 from repro.errors import QueryError
 from repro.lvm.volume import LogicalVolume
-from repro.mappings.base import Mapper, RequestPlan
+from repro.mappings.base import Mapper, RequestPlan, coalesce_ranks
 from repro.query.scheduler import effective_policy, merge_plan_runs
 from repro.query.workload import BeamQuery, RangeQuery
 
-__all__ = ["PreparedQuery", "QueryResult", "StorageManager"]
+__all__ = ["PreparedQuery", "QueryResult", "StorageManager", "WritePrepared"]
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,21 @@ class PreparedQuery:
     @property
     def n_blocks(self) -> int:
         return self.plan.n_blocks
+
+
+@dataclass(frozen=True)
+class WritePrepared(PreparedQuery):
+    """A prepared write batch (an ingest flush's blocks on one disk).
+
+    Serviced exactly like a read batch — writes follow the same §5.2
+    issue-order conventions — but ``is_write`` routes it past every
+    cache admit/filter path (written blocks were *invalidated* at
+    preparation instead) and lets the traffic engine drop, rather than
+    fail over, a dead replica's copy of a flush.  ``n_cells`` counts the
+    points acknowledged by this batch.
+    """
+
+    is_write: ClassVar[bool] = True
 
 
 @dataclass(frozen=True)
@@ -184,6 +200,34 @@ class StorageManager:
             return self.prepare_plan(mapper, plan, query.n_cells())
         raise QueryError(f"unknown query type {type(query).__name__}")
 
+    def prepare_write(
+        self, mapper: Mapper, lbns, n_points: int
+    ) -> WritePrepared:
+        """Prepare a write batch of whole blocks on ``mapper``'s disk.
+
+        Writes take the same issue-order treatment as reads (sorted
+        runs, SPTF clamp) but never consult the cache filter — every
+        block goes to the drive — and instead *invalidate* any resident
+        frames of the written blocks, so no reader is served pre-flush
+        contents.  Runs merge only on exact adjacency (``merge_gap=0``):
+        a write must not touch blocks it does not own.
+        """
+        lbns = np.unique(np.asarray(lbns, dtype=np.int64).ravel())
+        if lbns.size == 0:
+            raise QueryError("a write batch needs at least one block")
+        starts, lengths = coalesce_ranks(lbns)
+        plan = RequestPlan(starts, lengths, policy="sorted", merge_gap=0)
+        cache = self.cache
+        if cache is not None and cache.active:
+            cache.invalidate(mapper.disk_index, lbns)
+        return WritePrepared(
+            mapper_name=mapper.name,
+            disk_index=mapper.disk_index,
+            plan=plan,
+            policy=effective_policy(plan, self.sptf_run_limit),
+            n_cells=int(n_points),
+        )
+
     def execute_prepared(
         self,
         prepared: PreparedQuery,
@@ -226,8 +270,11 @@ class StorageManager:
 
         No-op without an active pool.  The traffic simulator calls this
         when a query's *last* slice completes; the one-shot path calls
-        it from :meth:`execute_prepared`.
+        it from :meth:`execute_prepared`.  Write batches are never
+        admitted — their blocks were invalidated at preparation.
         """
+        if getattr(prepared, "is_write", False):
+            return
         cache = self.cache
         if cache is not None and cache.active:
             cache.admit_plan(self.volume, prepared.disk_index,

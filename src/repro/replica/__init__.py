@@ -54,7 +54,11 @@ from repro.replica.map import (
     placement_names,
     register_placement,
 )
-from repro.replica.rebuild import RebuildReport, plan_rebuild
+from repro.replica.rebuild import (
+    RebuildReport,
+    interference_profile,
+    plan_rebuild,
+)
 
 __all__ = [
     "FailureEvent",
@@ -70,6 +74,7 @@ __all__ = [
     "ReplicatedPrepared",
     "ReplicatedStorageManager",
     "SubSource",
+    "interference_profile",
     "placement_names",
     "plan_rebuild",
     "read_policy_names",

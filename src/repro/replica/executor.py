@@ -322,6 +322,22 @@ class ReplicatedStorageManager(ShardedStorageManager):
             sources=tuple(sources),
         )
 
+    def write_copies(self, chunk_index: int):
+        """Every live ``(copy, mapper)`` an ingest flush must write.
+
+        Replica-consistent ingest applies a flush to the primary *and*
+        all k-1 copies, skipping dead disks (their copies rebuild from a
+        survivor later); a chunk whose copies are all dead cannot accept
+        writes at all — raising keeps the data-loss loud."""
+        i = int(chunk_index)
+        live = self.replica_map.live_copies(i, self.failed)
+        if not live:
+            raise ReplicaError(
+                f"chunk {i} is unwritable: all {self.replica_map.k} "
+                f"copies are on failed disks {sorted(self.failed)}"
+            )
+        return tuple((int(r), self.copy_mappers[i][int(r)]) for r in live)
+
     def failover_sub(
         self, source: SubSource
     ) -> tuple[SubSource, PreparedQuery]:

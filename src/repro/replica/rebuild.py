@@ -24,7 +24,23 @@ from dataclasses import dataclass
 from repro.disk.drive import DiskDrive
 from repro.errors import ReplicaError
 
-__all__ = ["RebuildReport", "plan_rebuild"]
+__all__ = ["RebuildReport", "interference_profile", "plan_rebuild"]
+
+
+def interference_profile(busy_ms_by_disk: dict, window_ms: float) -> dict:
+    """Per-disk busy fraction and foreground service dilation
+    ``1 / (1 - busy_frac)`` over a background-I/O window (an M/G/1-style
+    utilisation-headroom estimate, shared by the rebuild and ingest
+    reorganisation models)."""
+    out = {}
+    for disk, busy_ms in sorted(busy_ms_by_disk.items()):
+        busy = busy_ms / window_ms if window_ms > 0 else 0.0
+        busy = min(busy, 0.999999)
+        out[int(disk)] = {
+            "busy_frac": busy,
+            "foreground_dilation": 1.0 / (1.0 - busy),
+        }
+    return out
 
 
 @dataclass(frozen=True)
@@ -44,15 +60,7 @@ class RebuildReport:
     def interference(self) -> dict:
         """Per-source busy fraction and foreground dilation during the
         rebuild window."""
-        out = {}
-        for disk, read_ms in sorted(self.source_read_ms.items()):
-            busy = read_ms / self.rebuild_ms if self.rebuild_ms > 0 else 0.0
-            busy = min(busy, 0.999999)
-            out[disk] = {
-                "busy_frac": busy,
-                "foreground_dilation": 1.0 / (1.0 - busy),
-            }
-        return out
+        return interference_profile(self.source_read_ms, self.rebuild_ms)
 
     def to_dict(self) -> dict:
         return {

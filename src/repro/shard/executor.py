@@ -281,6 +281,13 @@ class ShardedStorageManager(StorageManager):
         else:
             super().admit_prepared(prepared)
 
+    def write_copies(self, chunk_index: int):
+        """The ``(copy, chunk_mapper)`` targets an ingest flush of
+        ``chunk_index`` must write — one copy (the primary) without
+        replication; the replica manager overrides this with every live
+        copy."""
+        return ((0, self.mapper.chunk_mappers[int(chunk_index)]),)
+
     def run_query(self, mapper, query, *, rng=None) -> QueryResult:
         return self.execute_prepared(self.prepare(mapper, query), rng=rng)
 

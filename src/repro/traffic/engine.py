@@ -268,6 +268,7 @@ class TrafficSim:
 
         dead_ids: set[int] = set()  # id(drive) of currently dead drives
         n_redispatched = 0
+        n_dropped_writes = 0
 
         def drive_state(cs: _ClientState, disk: int) -> _DriveState:
             drive = cs.client.storage.volume.drive(disk)
@@ -289,7 +290,11 @@ class TrafficSim:
             """Draw, prepare, and enqueue one query of ``cs`` at ``t``."""
             c = cs.client
             query = c.mix.draw(c.mapper.dims, c.rng, cs.issued)
-            prepared = c.storage.prepare(c.mapper, query)
+            # the client routes its own submissions: reads through the
+            # storage manager's prepare (the one-shot path), ingest
+            # batches through the client's pipeline — identical calls
+            # for a plain client, so read-only runs are untouched
+            prepared = c.prepare(query)
             subs = subplans(prepared)
             # one head draw per involved disk, in sub-plan order — drawn
             # at submission even for all-hit queries, keeping the
@@ -429,10 +434,42 @@ class TrafficSim:
 
         def redispatch(job: _Job, t: float, dead: int) -> None:
             """Restart one dead disk's sub-plan on a surviving copy."""
-            nonlocal n_redispatched
+            nonlocal n_redispatched, n_dropped_writes
             qs = job.qs
             c = qs.cs.client
             storage = c.storage
+            if getattr(job.source, "is_write", False):
+                # a write sub targets ONE copy; the surviving copies'
+                # subs of the same flush already carry the batch, so a
+                # dead copy's write is DROPPED (rebuild restores it),
+                # never replayed elsewhere.  No live copy left means
+                # acknowledged data would be lost — that raises.
+                rm = getattr(storage, "replica_map", None)
+                live = (
+                    rm.live_copies(job.source.chunk, storage.failed)
+                    if rm is not None else ()
+                )
+                if not live:
+                    raise QueryError(
+                        f"disk {dead} failed mid-flush and chunk "
+                        f"{job.source.chunk} has no surviving copy: "
+                        f"an acknowledged ingest batch would be lost"
+                    )
+                n_dropped_writes += 1
+                if job.sub is not None:
+                    qs.abandoned.append(job.sub)
+                old = job.disk
+                qs.disk_remaining[old] -= 1
+                if qs.disk_remaining[old] == 0:
+                    del qs.disk_remaining[old]
+                    qs.done_ms = max(
+                        qs.done_ms, t + qs.disk_cache.get(old, 0.0)
+                    )
+                    qs.disk_cache[old] = 0.0
+                    qs.remaining -= 1
+                    if qs.remaining == 0:
+                        push(qs.done_ms, "cache_done", qs)
+                return
             if job.source is None or not hasattr(storage,
                                                 "failover_sub"):
                 raise QueryError(
@@ -654,13 +691,31 @@ class TrafficSim:
                 pools[0].describe() if len(pools) == 1
                 else [p.describe() for p in pools],
             )
+        pipelines = []
+        for c in self.clients:
+            p = getattr(c, "pipeline", None)
+            if p is not None and not any(p is q for q in pipelines):
+                pipelines.append(p)
         if self.failures is not None:
             # gated on a schedule being passed, so failure-free runs
             # keep their JSON layout bit-for-bit
-            meta.setdefault("failures", {
+            fail_meta = {
                 "schedule": self.failures.describe()["events"],
                 "redispatched_subs": n_redispatched,
-            })
+            }
+            if pipelines:
+                # only under ingest clients: read-only failure runs keep
+                # the PR 5 failures payload bit-for-bit
+                fail_meta["dropped_write_subs"] = n_dropped_writes
+            meta.setdefault("failures", fail_meta)
+        if pipelines:
+            # gated on an ingest client being present, so read-only
+            # storms keep their pre-ingest JSON layout bit-for-bit
+            meta.setdefault(
+                "ingest",
+                pipelines[0].describe() if len(pipelines) == 1
+                else [p.describe() for p in pipelines],
+            )
         replicated = []
         for c in self.clients:
             st = c.storage

@@ -15,7 +15,7 @@ SHAPE = (24, 12, 12)
 
 GATE_MSG = (
     "online updates (CellStore) are not supported on sharded "
-    "datasets; run them on the unsharded stack"
+    "datasets; stream writes through Dataset.ingest() instead"
 )
 
 

@@ -1,0 +1,175 @@
+"""The façade: ``with_ingest`` specs, ``Dataset.ingest()`` runs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Dataset
+from repro.api.ingest import IngestRun
+from repro.errors import DatasetError, IngestError, RegistryError
+from repro.ingest import LOADERS
+from repro.ingest.report import IngestReport
+from repro.ingest.streams import ClusteredStream, UniformStream
+
+SHAPE = (16, 8, 8)
+
+
+@pytest.fixture()
+def plain(small_model):
+    return Dataset.create(SHAPE, layout="zorder", drive=small_model,
+                          seed=5)
+
+
+class TestWithIngest:
+    def test_spec_is_validated_eagerly(self, plain):
+        with pytest.raises(RegistryError, match="unknown stream"):
+            plain.with_ingest(stream="nope")
+        with pytest.raises(RegistryError, match="unknown loader"):
+            plain.with_ingest(loader="nope")
+        with pytest.raises(DatasetError, match="stream"):
+            plain.with_ingest(stream=42)
+
+    def test_accepts_stream_classes_and_instances(self, plain):
+        plain.with_ingest(stream=UniformStream)
+        plain.with_ingest(
+            stream=UniformStream(SHAPE, n_points=16), loader="adaptive"
+        )
+
+    def test_describe_key_gated_on_spec(self, plain):
+        assert "ingest" not in plain.describe()
+        plain.with_ingest(stream="clustered", n_points=64)
+        out = plain.describe()["ingest"]
+        assert out["stream"] == "clustered"
+        assert out["loader"] == "fixed"
+        assert out["n_points"] == 64
+
+    def test_spec_survives_with_layout_clone(self, plain):
+        plain.with_ingest(stream="clustered", n_points=64)
+        clone = plain.with_layout("naive")
+        assert clone.describe()["ingest"]["stream"] == "clustered"
+        clone._ingest_spec["stream"] = "uniform"
+        assert plain._ingest_spec["stream"] == "clustered"
+
+    def test_spec_survives_sharding_and_replication(self, plain):
+        plain.with_ingest(stream="drifting")
+        plain.with_shards(2).with_replication(2)
+        assert plain.describe()["ingest"]["stream"] == "drifting"
+
+
+class TestIngestRun:
+    def test_overrides_layer_on_spec(self, plain):
+        plain.with_ingest(stream="clustered", n_points=64,
+                          flush_points=32)
+        run = plain.ingest(n_points=128)
+        assert run.stream_spec == "clustered"
+        assert run.n_points == 128
+        assert run.flush_points == 32
+
+    def test_fluent_setters(self, plain):
+        run = (
+            plain.ingest()
+            .with_stream("drifting", spread=0.1)
+            .with_loader("adaptive", quantile=0.9)
+            .with_points(96, 32)
+            .with_flush(48)
+            .with_reorganize(throttle=0.5)
+        )
+        assert run.stream_spec == "drifting"
+        assert run.stream_opts["spread"] == 0.1
+        assert run.loader_spec == "adaptive"
+        assert run.loader_opts["quantile"] == 0.9
+        assert run.n_points == 96 and run.batch_points == 32
+        assert run.flush_points == 48
+        assert run.reorganize and run.throttle == 0.5
+
+    def test_seed_defaults_to_the_dataset(self, plain):
+        assert plain.ingest().build_stream().seed == plain.seed
+        assert plain.ingest(seed=9).build_stream().seed == 9
+
+    def test_stream_opts_reach_the_factory(self, plain):
+        stream = plain.ingest(stream="clustered",
+                              n_clusters=2).build_stream()
+        assert isinstance(stream, ClusteredStream)
+        assert stream.n_clusters == 2
+
+
+class TestRunExecution:
+    def test_every_point_acknowledged(self, plain):
+        report = plain.ingest(n_points=200, batch_points=64,
+                              flush_points=64).run()
+        assert isinstance(report, IngestReport)
+        assert report.n_points == 200
+        assert report.n_batches == report.acked_batches == 4
+        assert report.flushes >= 1
+        assert report.store["n_points"] == 200
+        assert report.total_ms > 0 and report.mb_per_s > 0
+
+    def test_report_json_round_trips(self, plain):
+        report = plain.ingest(n_points=64, flush_points=32).run()
+        payload = json.loads(report.to_json())
+        assert payload["n_points"] == 64
+        assert payload["mb_per_s"] == pytest.approx(report.mb_per_s)
+        assert "goodput" in report.render()
+
+    def test_same_seed_runs_are_identical(self, small_model):
+        def one():
+            ds = Dataset.create(SHAPE, layout="zorder",
+                                drive=small_model, seed=7)
+            return ds.ingest(stream="clustered", n_points=128,
+                             flush_points=64).run()
+
+        assert one().to_json() == one().to_json()
+
+    def test_reorganize_counts_into_total(self, small_model):
+        def one(reorganize):
+            ds = Dataset.create(SHAPE, layout="zorder",
+                                drive=small_model, seed=7)
+            return ds.ingest(
+                stream="clustered", n_points=256, flush_points=64,
+                loader_opts={"points_per_cell": 1},
+                reorganize=reorganize,
+            ).run()
+
+        plainr = one(False)
+        reorged = one(True)
+        assert plainr.reorg is None
+        assert reorged.reorg is not None
+        assert reorged.reorg["pages_freed"] > 0
+        assert reorged.total_ms == pytest.approx(
+            plainr.total_ms + reorged.reorg["reorg_ms"]
+        )
+
+
+class TestAdaptiveRechunk:
+    def test_rechunks_before_first_byte(self, small_model):
+        ds = Dataset.create(SHAPE, layout="zorder", drive=small_model,
+                            seed=7).with_shards(2)
+        run = ds.ingest(stream="clustered", loader="adaptive",
+                        n_points=256, flush_points=64)
+        stream = run.build_stream()
+        plan = LOADERS.get("adaptive").fn(ds, stream)
+        run.run()
+        assert tuple(ds.storage.shard_map.chunks[0].shape) \
+            == tuple(plan.chunk_shape)
+
+    def test_adapt_chunks_false_keeps_the_grid(self, small_model):
+        ds = Dataset.create(SHAPE, layout="zorder", drive=small_model,
+                            seed=7).with_shards(2)
+        before = tuple(ds.storage.shard_map.chunks[0].shape)
+        ds.ingest(stream="clustered", loader="adaptive", n_points=256,
+                  flush_points=64, adapt_chunks=False).run()
+        assert tuple(ds.storage.shard_map.chunks[0].shape) == before
+
+
+class TestStoreGate:
+    def test_sharded_write_path_the_gate_points_at_works(
+            self, small_model):
+        """The CellStore gate on sharded datasets names
+        ``Dataset.ingest()`` as the write path; that path must accept
+        sharded (and replicated) datasets."""
+        ds = Dataset.create(SHAPE, layout="zorder", drive=small_model,
+                            seed=5).with_shards(2).with_replication(2)
+        report = ds.ingest(n_points=64, flush_points=16).run()
+        assert report.n_points == 64
+        assert report.skipped_copy_writes == 0

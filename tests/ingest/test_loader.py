@@ -1,0 +1,129 @@
+"""Bulk loaders: the fixed defaults and the adaptive sampling plan."""
+
+import pytest
+
+from repro.api import Dataset
+from repro.errors import IngestError
+from repro.ingest.loader import (
+    LOADERS,
+    IngestPlan,
+    loader_names,
+    resolve_loader,
+)
+from repro.ingest.streams import ClusteredStream, UniformStream
+
+SHAPE = (16, 8, 8)
+
+
+@pytest.fixture()
+def plain(small_model):
+    return Dataset.create(SHAPE, layout="zorder", drive=small_model,
+                          seed=5)
+
+
+@pytest.fixture()
+def sharded(small_model):
+    return Dataset.create(SHAPE, layout="zorder", drive=small_model,
+                          seed=5).with_shards(2)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "fixed" in loader_names()
+        assert "adaptive" in loader_names()
+
+    def test_resolve_by_name_and_entry(self):
+        entry = LOADERS.get("fixed")
+        assert resolve_loader("fixed") is entry
+        assert resolve_loader(entry) is entry
+
+    def test_resolve_rejects_unknown_spec(self):
+        with pytest.raises(IngestError, match="unknown loader spec"):
+            resolve_loader(3.14)
+
+    def test_entries_carry_descriptions(self):
+        for name in loader_names():
+            assert LOADERS.get(name).description
+
+
+class TestFixedLoader:
+    def test_keeps_configured_defaults(self, plain):
+        stream = UniformStream(SHAPE, n_points=128, seed=1)
+        plan = LOADERS.get("fixed").fn(plain, stream)
+        assert isinstance(plan, IngestPlan)
+        assert plan.points_per_cell == 16
+        assert plan.fill_factor == 1.0
+        assert plan.chunk_shape is None
+
+    def test_honours_overrides(self, plain):
+        stream = UniformStream(SHAPE, n_points=128, seed=1)
+        plan = LOADERS.get("fixed").fn(plain, stream,
+                                       points_per_cell=4,
+                                       fill_factor=0.5)
+        assert plan.points_per_cell == 4
+        assert plan.fill_factor == 0.5
+
+
+class TestAdaptiveLoader:
+    def test_ppc_never_below_configured_floor(self, plain):
+        stream = UniformStream(SHAPE, n_points=64, seed=2)
+        plan = LOADERS.get("adaptive").fn(plain, stream,
+                                          points_per_cell=16)
+        assert plan.points_per_cell >= 16
+
+    def test_sizes_cells_to_clustered_density(self, plain):
+        """A hot clustered stream needs bigger cells than a uniform one
+        of the same size — the density estimate must see the skew."""
+        n = 2048
+        hot = ClusteredStream(SHAPE, n_points=n, seed=3, n_clusters=2,
+                              spread=0.02)
+        flat = UniformStream(SHAPE, n_points=n, seed=3)
+        fn = LOADERS.get("adaptive").fn
+        assert fn(plain, hot).points_per_cell \
+            > fn(plain, flat).points_per_cell
+
+    def test_no_chunk_shape_when_unsharded(self, plain):
+        stream = ClusteredStream(SHAPE, n_points=256, seed=4)
+        plan = LOADERS.get("adaptive").fn(plain, stream)
+        assert plan.chunk_shape is None
+        assert plan.meta["split_axis"] is None
+
+    def test_chunk_shape_slabs_one_axis_when_sharded(self, sharded):
+        stream = ClusteredStream(SHAPE, n_points=256, seed=4)
+        plan = LOADERS.get("adaptive").fn(sharded, stream)
+        shape = plan.chunk_shape
+        assert shape is not None and len(shape) == len(SHAPE)
+        axis = plan.meta["split_axis"]
+        for d, (s, full) in enumerate(zip(shape, SHAPE)):
+            if d == axis:
+                assert s == -(-full // 2)
+            else:
+                assert s == full
+
+    def test_sampling_does_not_disturb_the_stream(self, plain):
+        import numpy as np
+
+        stream = ClusteredStream(SHAPE, n_points=256, seed=6)
+        before = np.concatenate(list(stream.batches()))
+        LOADERS.get("adaptive").fn(plain, stream)
+        after = np.concatenate(list(stream.batches()))
+        assert np.array_equal(before, after)
+
+    def test_validates_quantile_and_headroom(self, plain):
+        stream = UniformStream(SHAPE, n_points=64, seed=7)
+        fn = LOADERS.get("adaptive").fn
+        with pytest.raises(IngestError):
+            fn(plain, stream, quantile=0.0)
+        with pytest.raises(IngestError):
+            fn(plain, stream, quantile=1.5)
+        with pytest.raises(IngestError):
+            fn(plain, stream, headroom=0.5)
+
+    def test_plan_describe_round_trips(self, sharded):
+        stream = ClusteredStream(SHAPE, n_points=256, seed=8)
+        plan = LOADERS.get("adaptive").fn(sharded, stream)
+        out = plan.describe()
+        assert out["points_per_cell"] == plan.points_per_cell
+        assert out["chunk_shape"] == list(plan.chunk_shape)
+        assert out["loader"] == "adaptive"
+        assert out["sampled_points"] == 256
