@@ -31,6 +31,7 @@ The layers underneath remain importable for direct use:
 ``repro.replica``   fault tolerance: replicated shards, failure injection
 ``repro.ingest``    streaming ingest, bulk loaders, write-path pipeline
 ``repro.traffic``   concurrent multi-client traffic simulation
+``repro.perf``      plan-prep fast path: memoization, probes, perf sweep
 ``repro.datasets``  the paper's three evaluation datasets
 ``repro.analytic``  the expected-cost model
 ``repro.bench``     one regenerator per paper figure
@@ -40,7 +41,7 @@ All façade attributes load lazily (PEP 562): ``import repro`` stays cheap.
 
 from __future__ import annotations
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: single source of truth for the lazy public surface: name -> module
 _LAZY_EXPORTS = {

@@ -47,6 +47,7 @@ from repro.core.store import CellStore, StoreStats
 from repro.disk.models import DiskModel
 from repro.errors import DatasetError, QueryError
 from repro.lvm.volume import LogicalVolume
+from repro.perf.profile import PROBES
 from repro.query.executor import QueryResult, StorageManager
 from repro.query.workload import (
     BeamQuery,
@@ -183,6 +184,7 @@ class QueryBatch:
         n_rep = self._repeats if repeats is None else int(repeats)
         if n_rep < 1:
             raise QueryError("repeats must be >= 1")
+        probe_mark = PROBES.snapshot() if PROBES.enabled else None
         records = []
         for rep in range(n_rep):
             for entry in self._entries:
@@ -216,6 +218,10 @@ class QueryBatch:
             # degraded queries); gated on k > 1 so single-copy reports
             # stay bit-identical to the sharded stack
             meta["replicas"] = ds.storage.describe_replicas()
+        if probe_mark is not None:
+            # preparation counters/timers for this batch; gated on the
+            # probes being enabled so default report JSON is untouched
+            meta["perf"] = PROBES.delta(probe_mark)
         return Report(
             records=tuple(records),
             layout=ds.layout,

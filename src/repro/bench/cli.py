@@ -1,7 +1,7 @@
 """Command-line entry point: ``python -m repro.bench`` / ``repro-bench``
 (also installed as ``multimap-bench``).
 
-Six modes: the default regenerates paper figures, the ``traffic``
+Seven modes: the default regenerates paper figures, the ``traffic``
 subcommand runs the multi-client traffic storm
 (:func:`repro.traffic.storm.run_storm`), the ``cache`` subcommand
 sweeps buffer-pool capacities per layout
@@ -9,13 +9,17 @@ sweeps buffer-pool capacities per layout
 sweeps shard counts per layout
 (:func:`repro.shard.scale.run_scale_sweep`), the ``avail`` subcommand
 sweeps replication factors under a seeded disk failure
-(:func:`repro.replica.avail.run_avail_sweep`), and the ``ingest``
+(:func:`repro.replica.avail.run_avail_sweep`), the ``ingest``
 subcommand sweeps ingest goodput per layout x bulk loader
-(:func:`repro.ingest.sweep.run_ingest_sweep`).  The ``--list-*`` flags
-(layouts, drives, strategies, cache policies, prefetchers, replica
-placements, read policies, loaders, streams) print the registered
-names with descriptions and exit, so users can discover what every
-registry holds without reading source.
+(:func:`repro.ingest.sweep.run_ingest_sweep`), and the ``perf``
+subcommand measures plan-preparation throughput per layout
+(:func:`repro.perf.sweep.run_perf_sweep`) — with ``--check`` it gates
+the numbers against a pinned baseline such as the checked-in
+``BENCH_perf.json`` and exits non-zero on regression.  The ``--list-*``
+flags (layouts, drives, strategies, cache policies, prefetchers,
+replica placements, read policies, loaders, streams, perf probes)
+print the registered names with descriptions and exit, so users can
+discover what every registry holds without reading source.
 
 Examples::
 
@@ -35,6 +39,9 @@ Examples::
     repro-bench --list-loaders --list-streams
     repro-bench ingest --shape 64,16,16 --stream clustered --k 2
     repro-bench ingest --loaders fixed,adaptive --json ingest.json
+    repro-bench --list-probes
+    repro-bench perf --json BENCH_perf.json
+    repro-bench perf --check BENCH_perf.json --json results/perf.json
 """
 
 from __future__ import annotations
@@ -325,6 +332,10 @@ def _list_registries(args) -> bool:
             (name, entry.description)
             for name, entry in STREAMS.items()
         ]))
+    if args.list_probes:
+        from repro.perf import PROBE_DOCS
+
+        sections.append(("perf probes", sorted(PROBE_DOCS.items())))
     for kind, rows in sections:
         print(f"registered {kind}:")
         width = max((len(name) for name, _ in rows), default=0)
@@ -468,6 +479,95 @@ def _add_ingest_parser(subparsers) -> None:
     p.set_defaults(func=_ingest_main)
 
 
+def _perf_main(args) -> int:
+    from repro.perf import check_perf, render_perf_sweep, run_perf_sweep
+
+    data = run_perf_sweep(
+        _csv_ints(args.shape),
+        layouts=_csv_strs(args.layouts),
+        drive=args.drive,
+        n_beams=args.beams,
+        n_ranges=args.ranges,
+        selectivity_pct=args.selectivity,
+        full_ranges=args.full_ranges,
+        repeats=args.repeats,
+        ref_plans=args.ref_plans,
+        ref_cell_cap=args.ref_cell_cap,
+        seed=args.seed,
+    )
+    if not args.quiet:
+        print(render_perf_sweep(data))
+    if args.json:
+        _write_json_report(args.json, data, "perf.json", args.quiet)
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        violations = check_perf(
+            data, baseline,
+            tolerance=args.tolerance,
+            throughput_tolerance=args.throughput_tolerance,
+        )
+        if violations:
+            print(f"perf check FAILED against {args.check}:")
+            for v in violations:
+                print(f"  {v}")
+            return 1
+        if not args.quiet:
+            print(f"perf check passed against {args.check}")
+    return 0
+
+
+def _add_perf_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "perf",
+        help="plan-preparation throughput sweep per layout",
+        description="Replay a seeded beam+range workload through each "
+        "layout's vectorized plan-preparation fast path and report "
+        "plans/s, cells/s, the prep-vs-service split, and the speedup "
+        "over the pure-Python per-cell reference (asserted bit-identical"
+        " before timing is trusted).  With --check, gate the numbers "
+        "against a pinned baseline JSON and exit 1 on regression.",
+    )
+    p.add_argument("--shape", default="64,64,32",
+                   help="dataset dims, comma-separated (default 64,64,32)")
+    p.add_argument("--layouts", default="naive,zorder,hilbert,multimap",
+                   help="comma-separated registered layouts")
+    p.add_argument("--drive", default="atlas10k3",
+                   help="registered drive model (default atlas10k3)")
+    p.add_argument("--beams", type=int, default=12,
+                   help="beams in the workload, axes cycled (default 12)")
+    p.add_argument("--ranges", type=int, default=4,
+                   help="random range cubes in the workload (default 4)")
+    p.add_argument("--selectivity", type=float, default=12.5,
+                   help="range-cube selectivity in percent (default 12.5)")
+    p.add_argument("--full-ranges", type=int, default=1,
+                   help="full-box scans in the workload (default 1)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing passes, best-of (default 3)")
+    p.add_argument("--ref-plans", type=int, default=8,
+                   help="workload prefix prepared through the reference "
+                   "path for the speedup metric (default 8)")
+    p.add_argument("--ref-cell-cap", type=int, default=4096,
+                   help="skip queries above this many cells in the "
+                   "reference subset (default 4096)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="workload seed (default 42)")
+    p.add_argument("--check", default=None, metavar="BASELINE",
+                   help="baseline JSON (e.g. BENCH_perf.json) to gate "
+                   "against; exit 1 on regression")
+    p.add_argument("--tolerance", type=float, default=0.5,
+                   help="allowed fractional drop in speedup_vs_reference "
+                   "(default 0.5)")
+    p.add_argument("--throughput-tolerance", type=float, default=0.9,
+                   help="allowed fractional drop in absolute plans/s and "
+                   "cells/s — wide by design, shared runners vary "
+                   "(default 0.9)")
+    p.add_argument("--json", default=None,
+                   help="JSON output file (or directory)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress table output")
+    p.set_defaults(func=_perf_main)
+
+
 def _add_traffic_parser(subparsers) -> None:
     p = subparsers.add_parser(
         "traffic",
@@ -572,12 +672,17 @@ def main(argv=None) -> int:
         "--list-streams", action="store_true",
         help="print registered record streams and exit",
     )
+    parser.add_argument(
+        "--list-probes", action="store_true",
+        help="print the perf profiling counters/timers and exit",
+    )
     subparsers = parser.add_subparsers(dest="command")
     _add_traffic_parser(subparsers)
     _add_cache_parser(subparsers)
     _add_scale_parser(subparsers)
     _add_avail_parser(subparsers)
     _add_ingest_parser(subparsers)
+    _add_perf_parser(subparsers)
     args = parser.parse_args(argv)
     listed = _list_registries(args)
     if args.command is not None:

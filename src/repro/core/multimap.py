@@ -368,14 +368,14 @@ class MultiMapMapper(Mapper):
                 coords[:1], int(coords[0, 0]), int(coords[-1, 0]) + 1
             )
             order = np.argsort(starts, kind="stable")
-            return RequestPlan(
-                starts[order], lengths[order], policy="sorted", merge_gap=0
+            return RequestPlan.from_arrays(
+                starts[order], lengths[order], "sorted", 0
             )
         # Semi-sequential path: one cell per request, already in path
         # (= ascending LBN) order.
         lbns = self.lbns(coords)
         lengths = np.full(lbns.shape, self.cell_blocks, dtype=np.int64)
-        return RequestPlan(lbns, lengths, policy="fifo", merge_gap=0)
+        return RequestPlan.from_arrays(lbns, lengths, "fifo", 0)
 
     def range_plan(self, lo, hi) -> RequestPlan:
         lo, hi = self._check_box(lo, hi)
@@ -383,7 +383,7 @@ class MultiMapMapper(Mapper):
             rows = np.zeros((1, 1), dtype=np.int64)
             rows[0, 0] = lo[0]
             starts, lengths = self._rows_to_runs(rows, lo[0], hi[0])
-            return RequestPlan(starts, lengths, policy="sorted")
+            return RequestPlan.from_arrays(starts, lengths, "sorted")
         row_coords = enumerate_box(lo[1:], hi[1:])
         anchors = np.empty(
             (row_coords.shape[0], self.n_dims), dtype=np.int64
@@ -392,7 +392,7 @@ class MultiMapMapper(Mapper):
         anchors[:, 1:] = row_coords
         starts, lengths = self._rows_to_runs(anchors, lo[0], hi[0])
         order = np.argsort(starts, kind="stable")
-        return RequestPlan(starts[order], lengths[order], policy="sptf")
+        return RequestPlan.from_arrays(starts[order], lengths[order], "sptf")
 
     def _rows_to_runs(self, anchors: np.ndarray, x0_lo: int, x0_hi: int):
         """Runs covering x0 in [x0_lo, x0_hi) for each anchor row.

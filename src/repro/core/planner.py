@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.basic_cube import BasicCube
 from repro.errors import MappingError
+from repro.perf.memo import MEMO
 
 __all__ = ["CubePlan", "plan_basic_cube", "track_waste_fraction"]
 
@@ -127,6 +128,16 @@ def plan_basic_cube(
     if n > 2 and depth < 1:
         raise MappingError("adjacency depth must be >= 1")
 
+    # a pure function of its (validated) arguments returning a frozen
+    # plan: memoize it, so with_layout/with_shards clones and the
+    # cube_aligned granule probe share one copy instead of re-searching
+    memo_key = (
+        dims, int(track_length), int(zone_tracks), int(depth), strategy
+    )
+    cached = MEMO.get("cube_plan", memo_key)
+    if cached is not None:
+        return cached
+
     # K0 candidates: the natural min(S0, T) plus shorter rows that let
     # several cubes pack per track with little tail waste — splitting Dim0
     # is cheap because consecutive cubes share track groups, so rows stay
@@ -188,7 +199,7 @@ def plan_basic_cube(
 
     cost, K, grid, total_cubes, groups, packing = min(pool, key=rank)
     cube = BasicCube(K, track_length, zone_tracks, depth)
-    return CubePlan(
+    plan = CubePlan(
         cube=cube,
         dims=dims,
         grid=grid,
@@ -198,3 +209,5 @@ def plan_basic_cube(
         total_tracks=cost,
         waste_fraction=track_waste_fraction(track_length, K[0], packing),
     )
+    MEMO.put("cube_plan", memo_key, plan)
+    return plan

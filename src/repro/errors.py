@@ -55,6 +55,11 @@ class ReplicaError(ReproError):
     or unreadable data (every copy of a chunk on failed disks)."""
 
 
+class BenchmarkError(ReproError):
+    """Raised by :mod:`repro.bench` and :mod:`repro.perf` for invalid
+    sweep parameters or a fast path that diverges from its reference."""
+
+
 class IngestError(ReproError):
     """Raised by :mod:`repro.ingest` for invalid stream/loader
     configuration or an unserviceable flush (e.g. every copy of a

@@ -54,8 +54,35 @@ class RequestPlan:
     def __post_init__(self) -> None:
         self.starts = np.asarray(self.starts, dtype=np.int64)
         self.lengths = np.asarray(self.lengths, dtype=np.int64)
+        if self.starts.ndim != 1 or self.lengths.ndim != 1:
+            raise MappingError("starts/lengths must be 1-D arrays")
         if self.starts.shape != self.lengths.shape:
             raise MappingError("starts/lengths shape mismatch")
+        # empty plans are legal (a fully cache-resident query's miss
+        # plan), but every present run must cover at least one block
+        if self.lengths.size and int(self.lengths.min()) < 1:
+            raise MappingError("run lengths must be >= 1")
+
+    @classmethod
+    def from_arrays(
+        cls,
+        starts: np.ndarray,
+        lengths: np.ndarray,
+        policy: str = "sorted",
+        merge_gap: int | None = None,
+    ) -> "RequestPlan":
+        """Wrap already-valid int64 run arrays without re-validating.
+
+        The trusted constructor of the preparation hot path (mappers,
+        run merging, slice splitting): callers guarantee 1-D int64
+        arrays of equal shape with all lengths >= 1.
+        """
+        plan = cls.__new__(cls)
+        plan.starts = starts
+        plan.lengths = lengths
+        plan.policy = policy
+        plan.merge_gap = merge_gap
+        return plan
 
 
 def coalesce_ranks(ranks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -141,7 +168,24 @@ class Mapper(ABC):
         starts, lengths = coalesce_ranks(
             self._expand_cells(ranks_lbns)
         )
-        return RequestPlan(starts, lengths, policy="sorted", merge_gap=0)
+        return RequestPlan.from_arrays(starts, lengths, "sorted", 0)
+
+    def lbns_batch(self, coords_groups) -> list[np.ndarray]:
+        """Translate many coordinate groups in one vectorised pass.
+
+        Returns one LBN array per group, identical to calling
+        :meth:`lbns` per group; concatenating first amortises the
+        encode/table-lookup cost across the whole batch (the per-chunk
+        loop of a scatter-gather query, a reorg's per-copy translation).
+        """
+        groups = [self._check_coords(g) for g in coords_groups]
+        if not groups:
+            return []
+        if len(groups) == 1:
+            return [self.lbns(groups[0])]
+        lbns = self.lbns(np.concatenate(groups, axis=0))
+        splits = np.cumsum([g.shape[0] for g in groups[:-1]])
+        return np.split(lbns, splits)
 
     # ------------------------------------------------------------------
     # shared helpers

@@ -59,6 +59,19 @@ def _as_coords(coords) -> np.ndarray:
     return arr
 
 
+def _as_codes(codes) -> np.ndarray:
+    """Normalise decoder input the way :func:`_as_coords` does for
+    encoders: scalars and 0-d arrays become length-1 vectors."""
+    arr = np.asarray(codes, dtype=np.int64)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise MappingError("codes must be a scalar or 1-D array")
+    if arr.size and arr.min() < 0:
+        raise MappingError("codes must be non-negative")
+    return arr
+
+
 # ---------------------------------------------------------------------
 # Morton (Z-order)
 # ---------------------------------------------------------------------
@@ -80,7 +93,7 @@ def morton_encode(coords, bits: int) -> np.ndarray:
 def morton_decode(codes, n_dims: int, bits: int) -> np.ndarray:
     """Inverse of :func:`morton_encode`."""
     _check_width(n_dims, bits)
-    codes = np.asarray(codes, dtype=np.int64)
+    codes = _as_codes(codes)
     out = np.zeros((codes.shape[0], n_dims), dtype=np.int64)
     for j in range(bits):
         for i in range(n_dims):
@@ -118,7 +131,7 @@ def gray_rank(coords, bits: int) -> np.ndarray:
 
 def gray_unrank(ranks, n_dims: int, bits: int) -> np.ndarray:
     """Inverse of :func:`gray_rank`."""
-    ranks = np.asarray(ranks, dtype=np.int64)
+    ranks = _as_codes(ranks)
     return morton_decode(_gray(ranks), n_dims, bits)
 
 
@@ -220,7 +233,7 @@ def hilbert_encode(coords, bits: int) -> np.ndarray:
 def hilbert_decode(codes, n_dims: int, bits: int) -> np.ndarray:
     """Inverse of :func:`hilbert_encode`."""
     _check_width(n_dims, bits)
-    codes = np.asarray(codes, dtype=np.int64)
+    codes = _as_codes(codes)
     if n_dims == 1:
         return codes[:, np.newaxis].copy()
     x = _deinterleave_transposed(codes, n_dims, bits)

@@ -9,7 +9,10 @@ For the curve mappings on non-power-of-two grids the rank of a cell is its
 position among the *occupied* cells in curve order; that is computed by
 building the sorted table of all cell codes once (cached) and using binary
 search — fully vectorised, since benchmarks push millions of cells through
-this path.
+this path.  The table depends only on the curve class and the grid dims,
+so it is published read-only through :data:`repro.perf.memo.MEMO` and
+shared by every clone of the mapper (``with_layout`` re-runs, per-chunk
+mappers of equal shape) instead of being rebuilt per instance.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from repro.mappings.base import (
     coalesce_ranks,
     enumerate_box,
 )
+from repro.perf.memo import MEMO
 
 __all__ = ["LinearMapper", "CurveMapper"]
 
@@ -38,16 +42,34 @@ class LinearMapper(Mapper):
         arr = self._check_coords(coords)
         return self.extent.start + self.rank(arr) * self.cell_blocks
 
+    def plan_from_ranks(
+        self,
+        ranks: np.ndarray,
+        policy: str = "sorted",
+        merge_gap: int | None = None,
+    ) -> RequestPlan:
+        """Build a sorted plan straight from cell ranks.
+
+        Ranks are coalesced *before* scaling to blocks: cells at
+        consecutive ranks occupy consecutive block groups, so rank runs
+        and block runs coincide — bit-identical to expanding every
+        cell's blocks first, without materialising them.
+        """
+        ranks = np.sort(np.asarray(ranks, dtype=np.int64))
+        starts, lengths = coalesce_ranks(ranks)
+        cb = self.cell_blocks
+        return RequestPlan.from_arrays(
+            self.extent.start + starts * cb, lengths * cb, policy, merge_gap
+        )
+
+    def beam_plan(self, axis: int, fixed, lo: int = 0, hi: int | None = None
+                  ) -> RequestPlan:
+        coords = self._beam_coords(axis, fixed, lo, hi)
+        return self.plan_from_ranks(self.rank(coords), "sorted", 0)
+
     def range_plan(self, lo, hi) -> RequestPlan:
         lo, hi = self._check_box(lo, hi)
-        coords = enumerate_box(lo, hi)
-        ranks = np.sort(self.rank(coords))
-        starts, lengths = coalesce_ranks(ranks)
-        return RequestPlan(
-            self.extent.start + starts * self.cell_blocks,
-            lengths * self.cell_blocks,
-            policy="sorted",
-        )
+        return self.plan_from_ranks(self.rank(enumerate_box(lo, hi)))
 
 
 class CurveMapper(LinearMapper):
@@ -62,26 +84,38 @@ class CurveMapper(LinearMapper):
         """Curve code of each coordinate row.  Subclasses provide."""
         raise NotImplementedError
 
+    def _memo_key(self) -> tuple:
+        cls = type(self)
+        return (cls.__module__, cls.__qualname__, self.dims)
+
+    def _build_code_table(self) -> np.ndarray:
+        dims = self.dims
+        n = self.n_cells
+        table = np.empty(n, dtype=np.int64)
+        last = dims[-1]
+        per_slab = n // last
+        lo = [0] * len(dims)
+        hi = list(dims)
+        for s in range(last):
+            lo[-1], hi[-1] = s, s + 1
+            coords = enumerate_box(lo, hi)
+            table[s * per_slab:(s + 1) * per_slab] = self.encode(coords)
+        table.sort()
+        # published through the memo and shared across mapper clones
+        table.flags.writeable = False
+        return table
+
     def code_table(self) -> np.ndarray:
-        """Sorted codes of every cell in the grid (built lazily, cached).
+        """Sorted codes of every cell in the grid (built lazily, shared
+        across clones through the memo, read-only).
 
         Building enumerates the whole grid in slabs along the last axis to
         bound peak memory; the result is one int64 per cell.
         """
         if self._code_table is None:
-            dims = self.dims
-            n = self.n_cells
-            table = np.empty(n, dtype=np.int64)
-            last = dims[-1]
-            per_slab = n // last
-            lo = [0] * len(dims)
-            hi = list(dims)
-            for s in range(last):
-                lo[-1], hi[-1] = s, s + 1
-                coords = enumerate_box(lo, hi)
-                table[s * per_slab:(s + 1) * per_slab] = self.encode(coords)
-            table.sort()
-            self._code_table = table
+            self._code_table = MEMO.get_or_build(
+                "code_table", self._memo_key(), self._build_code_table
+            )
         return self._code_table
 
     def rank(self, coords: np.ndarray) -> np.ndarray:
@@ -90,5 +124,7 @@ class CurveMapper(LinearMapper):
         return np.searchsorted(table, codes)
 
     def drop_cache(self) -> None:
-        """Free the cached code table (benchmark hygiene)."""
+        """Free the cached code table (benchmark hygiene) — the shared
+        memo entry is evicted too, so the next use rebuilds cold."""
         self._code_table = None
+        MEMO.evict("code_table", self._memo_key())

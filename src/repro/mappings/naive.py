@@ -53,8 +53,8 @@ class NaiveMapper(LinearMapper):
         merged = np.flatnonzero(starts[1:] != starts[:-1] + row_len)
         run_start_idx = np.concatenate(([0], merged + 1))
         run_end_idx = np.concatenate((merged, [starts.size - 1]))
-        return RequestPlan(
+        return RequestPlan.from_arrays(
             starts[run_start_idx],
             starts[run_end_idx] + row_len - starts[run_start_idx],
-            policy="sorted",
+            "sorted",
         )

@@ -1,0 +1,104 @@
+"""Lightweight counter/timer probes for the preparation hot path.
+
+The hooks live in :meth:`StorageManager.prepare_plan` and the
+:class:`TrafficSim` event loop, guarded by ``PROBES.enabled`` so the
+disabled cost is one attribute read.  While enabled, report meta gains a
+gated ``"perf"`` entry (a :meth:`PerfProbes.delta` of the run); while
+disabled — the default — every report and traffic JSON stays
+bit-identical to a build without probes.  Timers measure wall clock and
+never feed back into simulated results, so determinism is untouched.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = ["PerfProbes", "PROBES", "PROBE_DOCS", "profiled"]
+
+#: every probe name the hooks may emit, with a one-line description
+#: (surfaced by ``repro-bench --list-probes``)
+PROBE_DOCS = {
+    "plans_prepared": "request plans pushed through prepare_plan",
+    "cells_planned": "dataset cells covered by prepared plans",
+    "runs_prepared": "coalesced runs across prepared plans",
+    "prepare_plan_ms": "wall time inside StorageManager.prepare_plan",
+    "traffic_events": "events popped off the traffic simulator's heap",
+    "traffic_run_ms": "wall time inside TrafficSim.run",
+}
+
+
+class PerfProbes:
+    """A named counter/timer registry (off by default)."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.counters: dict[str, int] = {}
+        self.timers_ms: dict[str, float] = {}
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers_ms.clear()
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    def add_time(self, name: str, ms: float) -> None:
+        self.timers_ms[name] = self.timers_ms.get(name, 0.0) + float(ms)
+
+    @contextmanager
+    def timer(self, name: str):
+        """Accumulate the wall time of a ``with`` block under ``name``."""
+        t0 = perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_time(name, (perf_counter() - t0) * 1e3)
+
+    def snapshot(self) -> dict:
+        """A copy of the current totals (a :meth:`delta` baseline)."""
+        return {
+            "counters": dict(self.counters),
+            "timers_ms": dict(self.timers_ms),
+        }
+
+    def delta(self, since: dict | None = None) -> dict:
+        """Totals accumulated since ``since`` (JSON-friendly, rounded
+        timers, zero-change names dropped)."""
+        base_c = (since or {}).get("counters", {})
+        base_t = (since or {}).get("timers_ms", {})
+        counters = {
+            name: total - base_c.get(name, 0)
+            for name, total in sorted(self.counters.items())
+            if total != base_c.get(name, 0)
+        }
+        timers = {
+            name: round(total - base_t.get(name, 0.0), 3)
+            for name, total in sorted(self.timers_ms.items())
+            if total != base_t.get(name, 0.0)
+        }
+        return {"counters": counters, "timers_ms": timers}
+
+
+#: the process-wide registry the hooks report to
+PROBES = PerfProbes()
+
+
+@contextmanager
+def profiled(reset: bool = True):
+    """Enable :data:`PROBES` for a ``with`` block, restoring the prior
+    state on exit.  ``reset`` starts the block from zeroed totals."""
+    prior = PROBES.enabled
+    if reset:
+        PROBES.reset()
+    PROBES.enable()
+    try:
+        yield PROBES
+    finally:
+        PROBES.enabled = prior

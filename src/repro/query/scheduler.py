@@ -54,11 +54,11 @@ def merge_plan_runs(plan: RequestPlan, max_gap: int = 0) -> RequestPlan:
     breaks = np.flatnonzero(starts[1:] > ends[:-1] + max_gap)
     first = np.concatenate(([0], breaks + 1))
     last = np.concatenate((breaks, [starts.size - 1]))
-    return RequestPlan(
+    return RequestPlan.from_arrays(
         starts[first],
         ends[last] - starts[first],
-        policy=plan.policy,
-        merge_gap=plan.merge_gap,
+        plan.policy,
+        plan.merge_gap,
     )
 
 
@@ -89,11 +89,11 @@ def slice_plan(plan: RequestPlan, max_runs: int | None) -> list[RequestPlan]:
     if max_runs < 1:
         raise ValueError("max_runs must be >= 1")
     return [
-        RequestPlan(
+        RequestPlan.from_arrays(
             plan.starts[i:i + max_runs],
             plan.lengths[i:i + max_runs],
-            policy=plan.policy,
-            merge_gap=plan.merge_gap,
+            plan.policy,
+            plan.merge_gap,
         )
         for i in range(0, plan.n_runs, max_runs)
     ]

@@ -161,22 +161,38 @@ class ShardMap:
         disks = np.asarray([c.disk for c in self.chunks], dtype=np.int64)
         return np.bincount(disks, minlength=self.n_disks).tolist()
 
+    def _chunk_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked (origins, exclusive ends) of every chunk, built once.
+
+        The dataclass is frozen but not slotted, so the lazily computed
+        arrays hide in ``__dict__`` without affecting equality or repr.
+        """
+        cached = self.__dict__.get("_bounds_cache")
+        if cached is None:
+            origins = np.array(
+                [c.origin for c in self.chunks], dtype=np.int64
+            )
+            shapes = np.array(
+                [c.shape for c in self.chunks], dtype=np.int64
+            )
+            cached = (origins, origins + shapes)
+            object.__setattr__(self, "_bounds_cache", cached)
+        return cached
+
     def intersections(self, lo, hi):
         """Yield ``(chunk, local_lo, local_hi)`` for every chunk the
         half-open global box ``[lo, hi)`` overlaps, in chunk order;
         local coordinates are chunk-relative."""
-        ndim = len(self.dims)
-        for chunk in self.chunks:
-            llo, lhi = [], []
-            for d in range(ndim):
-                a = max(int(lo[d]), chunk.origin[d])
-                b = min(int(hi[d]), chunk.origin[d] + chunk.shape[d])
-                if a >= b:
-                    break
-                llo.append(a - chunk.origin[d])
-                lhi.append(b - chunk.origin[d])
-            else:
-                yield chunk, tuple(llo), tuple(lhi)
+        origins, ends = self._chunk_bounds()
+        lo = np.asarray([int(v) for v in lo], dtype=np.int64)
+        hi = np.asarray([int(v) for v in hi], dtype=np.int64)
+        olo = np.maximum(lo, origins)
+        ohi = np.minimum(hi, ends)
+        overlap = np.flatnonzero((olo < ohi).all(axis=1))
+        llo = (olo - origins).tolist()
+        lhi = (ohi - origins).tolist()
+        for i in overlap.tolist():
+            yield self.chunks[i], tuple(llo[i]), tuple(lhi[i])
 
     def describe(self) -> dict:
         """JSON-friendly placement summary."""

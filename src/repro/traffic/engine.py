@@ -71,9 +71,11 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.disk.drive import BatchResult, DiskDrive
 from repro.errors import QueryError
+from repro.perf.profile import PROBES
 from repro.query.scatter import subplans
 from repro.query.scheduler import slice_plan
 from repro.traffic.clients import TrafficClient
@@ -259,6 +261,13 @@ class TrafficSim:
 
     def run(self) -> TrafficReport:
         cfg = self.config
+        # wall-clock probes only (meta-gated, never simulated time), so
+        # determinism of the report body is untouched
+        probing = PROBES.enabled
+        if probing:
+            wall_t0 = perf_counter()
+            probe_mark = PROBES.snapshot()
+        n_events = 0
         heap: list[tuple] = []
         seq = 0
         drives: dict[int, _DriveState] = {}
@@ -606,6 +615,7 @@ class TrafficSim:
         makespan = 0.0
         while heap:
             t, _, kind, payload = heapq.heappop(heap)
+            n_events += 1
             if kind == "arrive":
                 cs = payload
                 if cs.issued >= cs.client.n_queries:
@@ -733,6 +743,14 @@ class TrafficSim:
                 if len(replicated) == 1
                 else [s.describe_replicas() for s in replicated],
             )
+        if probing:
+            # gated on the probes being enabled, so default runs keep
+            # their JSON layout bit-for-bit
+            PROBES.count("traffic_events", n_events)
+            PROBES.add_time(
+                "traffic_run_ms", (perf_counter() - wall_t0) * 1e3
+            )
+            meta.setdefault("perf", PROBES.delta(probe_mark))
         return TrafficReport(
             traces=tuple(traces),
             drives=drive_stats,

@@ -1,0 +1,110 @@
+"""Profiling probes: off by default, gated meta when enabled."""
+
+import json
+
+import pytest
+
+from repro.perf.profile import PROBE_DOCS, PROBES, PerfProbes, profiled
+
+
+@pytest.fixture(autouse=True)
+def quiet_probes():
+    yield
+    PROBES.disable()
+    PROBES.reset()
+
+
+def test_probes_disabled_by_default():
+    assert PerfProbes().enabled is False
+
+
+def test_every_hook_name_is_documented():
+    assert set(PROBE_DOCS) == {
+        "plans_prepared", "cells_planned", "runs_prepared",
+        "prepare_plan_ms", "traffic_events", "traffic_run_ms",
+    }
+    assert all(desc for desc in PROBE_DOCS.values())
+
+
+def test_counters_and_timers():
+    p = PerfProbes()
+    p.count("a")
+    p.count("a", 4)
+    p.add_time("t", 1.5)
+    with p.timer("t"):
+        pass
+    snap = p.snapshot()
+    assert snap["counters"] == {"a": 5}
+    assert snap["timers_ms"]["t"] >= 1.5
+    p.reset()
+    assert p.snapshot() == {"counters": {}, "timers_ms": {}}
+
+
+def test_delta_drops_zero_change_names():
+    p = PerfProbes()
+    p.count("stale")
+    mark = p.snapshot()
+    p.count("fresh", 2)
+    d = p.delta(mark)
+    assert d == {"counters": {"fresh": 2}, "timers_ms": {}}
+    assert p.delta() == {"counters": {"stale": 1, "fresh": 2},
+                         "timers_ms": {}}
+
+
+def test_profiled_restores_prior_state():
+    assert PROBES.enabled is False
+    with profiled() as p:
+        assert p is PROBES
+        assert PROBES.enabled is True
+    assert PROBES.enabled is False
+    PROBES.enable()
+    with profiled(reset=False):
+        pass
+    assert PROBES.enabled is True
+
+
+def test_report_meta_has_no_perf_key_by_default(make_dataset):
+    report = make_dataset(shape=(8, 6, 6)).random_beams(axis=1, n=2).run()
+    assert "perf" not in report.meta
+    assert "perf" not in json.loads(report.to_json())["meta"]
+
+
+def test_report_meta_gains_perf_counters_when_profiled(make_dataset):
+    with profiled():
+        report = (
+            make_dataset(shape=(8, 6, 6)).random_beams(axis=1, n=3).run()
+        )
+    perf = report.meta["perf"]
+    assert perf["counters"]["plans_prepared"] == 3
+    assert perf["counters"]["cells_planned"] == 3 * 6
+    assert perf["counters"]["runs_prepared"] >= 3
+    assert perf["timers_ms"]["prepare_plan_ms"] >= 0
+
+
+def test_records_identical_with_and_without_probes(make_dataset):
+    off = make_dataset(shape=(8, 6, 6)).random_beams(axis=1, n=3).run()
+    with profiled():
+        on = make_dataset(shape=(8, 6, 6)).random_beams(axis=1, n=3).run()
+    assert off.records == on.records
+    meta_on = dict(on.meta)
+    meta_on.pop("perf")
+    assert meta_on == off.meta
+
+
+def test_traffic_meta_gains_perf_when_profiled(make_dataset):
+    with profiled():
+        report = (
+            make_dataset(shape=(8, 6, 6))
+            .traffic().clients(2, queries=2).run()
+        )
+    perf = report.meta["perf"]
+    assert perf["counters"]["traffic_events"] > 0
+    assert perf["counters"]["plans_prepared"] >= 4
+    assert perf["timers_ms"]["traffic_run_ms"] > 0
+
+
+def test_traffic_meta_clean_by_default(make_dataset):
+    report = (
+        make_dataset(shape=(8, 6, 6)).traffic().clients(1, queries=2).run()
+    )
+    assert "perf" not in report.meta

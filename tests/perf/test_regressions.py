@@ -1,0 +1,124 @@
+"""Regression tests for the curve-codec and RequestPlan hardening."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError, QueryError
+from repro.mappings.base import RequestPlan
+from repro.mappings.curves import (
+    gray_rank,
+    gray_unrank,
+    hilbert_decode,
+    hilbert_encode,
+    morton_decode,
+    morton_encode,
+)
+
+
+class TestScalarDecode:
+    """Scalar / 0-d codes used to crash with raw numpy AxisError."""
+
+    def test_hilbert_scalar_round_trip(self):
+        for code in range(16):
+            coords = hilbert_decode(code, 2, 2)
+            assert coords.shape == (1, 2)
+            assert int(hilbert_encode(coords, 2)[0]) == code
+
+    def test_hilbert_python_int(self):
+        assert hilbert_decode(5, 2, 3).shape == (1, 2)
+
+    def test_morton_scalar_round_trip(self):
+        for code in range(64):
+            coords = morton_decode(code, 3, 2)
+            assert coords.shape == (1, 3)
+            assert int(morton_encode(coords, 2)[0]) == code
+
+    def test_gray_scalar_round_trip(self):
+        for rank in range(16):
+            coords = gray_unrank(rank, 2, 2)
+            assert coords.shape == (1, 2)
+            assert int(gray_rank(coords, 2)[0]) == rank
+
+    def test_zero_d_array(self):
+        coords = morton_decode(np.int64(7), 2, 2)
+        assert coords.shape == (1, 2)
+        assert np.array_equal(coords, morton_decode(np.array(7), 2, 2))
+
+    @pytest.mark.parametrize(
+        "decode", [morton_decode, gray_unrank, hilbert_decode]
+    )
+    def test_2d_codes_rejected(self, decode):
+        with pytest.raises(MappingError, match="scalar or 1-D"):
+            decode(np.zeros((2, 2), dtype=np.int64), 2, 2)
+
+    @pytest.mark.parametrize(
+        "decode", [morton_decode, gray_unrank, hilbert_decode]
+    )
+    def test_negative_codes_rejected(self, decode):
+        with pytest.raises(MappingError, match="non-negative"):
+            decode(-1, 2, 2)
+        with pytest.raises(MappingError, match="non-negative"):
+            decode([3, -2], 2, 2)
+
+    def test_vector_path_unchanged(self):
+        codes = np.arange(8, dtype=np.int64)
+        coords = hilbert_decode(codes, 3, 1)
+        assert coords.shape == (8, 3)
+        assert np.array_equal(hilbert_encode(coords, 1), codes)
+
+
+class TestRequestPlanValidation:
+    """2-D arrays and zero/negative lengths used to slip through."""
+
+    def test_2d_starts_rejected(self):
+        with pytest.raises(MappingError, match="1-D"):
+            RequestPlan(np.zeros((2, 2), dtype=np.int64),
+                        np.ones((2, 2), dtype=np.int64))
+
+    def test_2d_lengths_rejected(self):
+        with pytest.raises(MappingError, match="1-D"):
+            RequestPlan(np.zeros(4, dtype=np.int64),
+                        np.ones((2, 2), dtype=np.int64))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MappingError):
+            RequestPlan(np.zeros(3, dtype=np.int64),
+                        np.ones(2, dtype=np.int64))
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(MappingError, match=">= 1"):
+            RequestPlan(np.asarray([0, 8], dtype=np.int64),
+                        np.asarray([4, 0], dtype=np.int64))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(MappingError, match=">= 1"):
+            RequestPlan(np.asarray([0], dtype=np.int64),
+                        np.asarray([-3], dtype=np.int64))
+
+    def test_empty_plan_stays_legal(self):
+        # the cache filter's all-hit miss plan and ingest's empty
+        # staging plan both rely on zero-run plans constructing fine
+        plan = RequestPlan(np.empty(0, dtype=np.int64),
+                           np.empty(0, dtype=np.int64))
+        assert plan.n_runs == 0
+        assert plan.n_blocks == 0
+
+    def test_from_arrays_trusts_caller(self):
+        # the hot-path constructor skips validation by design
+        starts = np.asarray([5], dtype=np.int64)
+        lengths = np.asarray([2], dtype=np.int64)
+        plan = RequestPlan.from_arrays(starts, lengths, "sptf", 3)
+        assert plan.starts is starts
+        assert plan.lengths is lengths
+        assert plan.policy == "sptf"
+        assert plan.merge_gap == 3
+
+    def test_list_input_still_coerced(self):
+        plan = RequestPlan([0, 10], [4, 2])
+        assert plan.starts.dtype == np.int64
+        assert plan.n_blocks == 6
+
+    def test_prepare_write_rejects_empty_batch(self, make_dataset):
+        ds = make_dataset(layout="naive", shape=(8, 6, 6))
+        with pytest.raises(QueryError, match="at least one block"):
+            ds.storage.prepare_write(ds.mapper, [], 0)
