@@ -32,6 +32,7 @@ The layers underneath remain importable for direct use:
 ``repro.ingest``    streaming ingest, bulk loaders, write-path pipeline
 ``repro.traffic``   concurrent multi-client traffic simulation
 ``repro.perf``      plan-prep fast path: memoization, probes, perf sweep
+``repro.obs``       telemetry: span tracing, metrics, trace exporters
 ``repro.datasets``  the paper's three evaluation datasets
 ``repro.analytic``  the expected-cost model
 ``repro.bench``     one regenerator per paper figure
@@ -41,7 +42,7 @@ All façade attributes load lazily (PEP 562): ``import repro`` stays cheap.
 
 from __future__ import annotations
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: single source of truth for the lazy public surface: name -> module
 _LAZY_EXPORTS = {
@@ -89,6 +90,12 @@ _LAZY_EXPORTS = {
     "register_loader": "repro.ingest",
     "stream_names": "repro.ingest",
     "register_stream": "repro.ingest",
+    "Telemetry": "repro.obs",
+    "MetricsRegistry": "repro.obs",
+    "Tracer": "repro.obs",
+    "EXPORTERS": "repro.obs",
+    "exporter_names": "repro.obs",
+    "register_exporter": "repro.obs",
 }
 
 __all__ = sorted([*_LAZY_EXPORTS, "__version__"])

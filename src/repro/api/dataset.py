@@ -222,6 +222,12 @@ class QueryBatch:
             # preparation counters/timers for this batch; gated on the
             # probes being enabled so default report JSON is untouched
             meta["perf"] = PROBES.delta(probe_mark)
+        tele = getattr(ds.storage, "obs", None)
+        if tele is not None:
+            # telemetry-LIFETIME totals (spans and metrics accumulate
+            # across batches; ds.telemetry.reset() scopes them); gated
+            # on attachment so detached report JSON is untouched
+            meta["obs"] = tele.describe()
         return Report(
             records=tuple(records),
             layout=ds.layout,
@@ -268,6 +274,7 @@ class Dataset:
         self._store: CellStore | None = None
         self._store_opts: dict = {}
         self._ingest_spec: dict | None = None
+        self._obs_spec: dict | None = None
 
     @classmethod
     def create(cls, shape, layout: str = "multimap",
@@ -351,6 +358,10 @@ class Dataset:
             # same cache configuration, fresh private pool: layouts
             # compete on placement, not on each other's cache contents
             clone.with_cache(**self._cache_spec)
+        if self._obs_spec is not None:
+            # same telemetry configuration, fresh private tracer: each
+            # layout's spans and metrics are its own recording
+            clone.with_telemetry(**self._obs_spec)
         return clone
 
     # ------------------------------------------------------------------
@@ -442,6 +453,9 @@ class Dataset:
             cell_blocks=self.cell_blocks, **self._sm_opts,
             layout_opts=self.layout_opts,
         )
+        # the SAME Telemetry object rides onto the new manager, so
+        # recordings span the reconfiguration
+        storage.obs = self.storage.obs
         self.volume = volume
         self.storage = storage
         self.mapper = storage.mapper
@@ -523,6 +537,8 @@ class Dataset:
             cell_blocks=self.cell_blocks, **self._sm_opts,
             layout_opts=self.layout_opts,
         )
+        # same Telemetry, new manager — recordings span the rebuild
+        storage.obs = self.storage.obs
         self.volume = volume
         self.storage = storage
         self.mapper = storage.mapper
@@ -702,6 +718,47 @@ class Dataset:
     def cache(self):
         """The attached buffer pool, or ``None``."""
         return self.storage.cache
+
+    # ------------------------------------------------------------------
+    # telemetry (repro.obs) — per-query tracing and metrics
+    # ------------------------------------------------------------------
+
+    def with_telemetry(self, trace: bool = True, metrics: bool = True,
+                       exporter: str | None = None) -> "Dataset":
+        """Attach a fresh :class:`~repro.obs.Telemetry` (chainable).
+
+        ``trace`` records one deterministic span tree per query (phases:
+        prepare, cache, per-disk service with seek/rotate/transfer
+        attribution, ingest flush, failover, reorganisation);
+        ``metrics`` accumulates counters and latency histograms;
+        ``exporter`` names a default :data:`~repro.obs.EXPORTERS` entry
+        (``jsonl``, ``chrome``, ``prometheus``) for
+        ``ds.telemetry.export()``.  ``trace=False, metrics=False``
+        detaches — the default state, in which every result and report
+        is bit-identical to a build without telemetry (the same parity
+        guarantee ``with_cache(0)`` gives).  The handle survives
+        :meth:`with_shards`/:meth:`with_replication` rebuilds, and
+        :meth:`with_layout` clones carry the spec with a private
+        recording.
+        """
+        if not trace and not metrics:
+            self._obs_spec = None
+            self.storage.obs = None
+            return self
+        from repro.obs import Telemetry
+
+        self.storage.obs = Telemetry(
+            trace=trace, metrics=metrics, exporter=exporter
+        )
+        self._obs_spec = dict(
+            trace=bool(trace), metrics=bool(metrics), exporter=exporter
+        )
+        return self
+
+    @property
+    def telemetry(self):
+        """The attached :class:`~repro.obs.Telemetry`, or ``None``."""
+        return getattr(self.storage, "obs", None)
 
     # ------------------------------------------------------------------
     # fluent queries
@@ -945,6 +1002,9 @@ class Dataset:
             # gated on k > 1: a single-copy dataset reports as the
             # sharded stack it is bit-identical to
             out["replicas"] = dict(self._replica_spec)
+        if self._obs_spec is not None:
+            # gated so detached datasets keep the pre-obs JSON layout
+            out["obs"] = dict(self._obs_spec)
         if self._ingest_spec is not None:
             # gated so read-only datasets keep the pre-ingest JSON layout
             out["ingest"] = {

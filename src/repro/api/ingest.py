@@ -162,6 +162,11 @@ class IngestRun:
             if report is not None:
                 reorg = report.to_dict()
                 reorg_ms = report.reorg_ms
+                tele = getattr(ds.storage, "obs", None)
+                if tele is not None:
+                    from repro.obs.span import record_reorg
+
+                    record_reorg(tele, report)
 
         stage_ms = (
             pipeline.stats.streamed_points * pipeline.stage_ms_per_point

@@ -1,7 +1,7 @@
 """Command-line entry point: ``python -m repro.bench`` / ``repro-bench``
 (also installed as ``multimap-bench``).
 
-Seven modes: the default regenerates paper figures, the ``traffic``
+Eight modes: the default regenerates paper figures, the ``traffic``
 subcommand runs the multi-client traffic storm
 (:func:`repro.traffic.storm.run_storm`), the ``cache`` subcommand
 sweeps buffer-pool capacities per layout
@@ -11,15 +11,19 @@ sweeps shard counts per layout
 sweeps replication factors under a seeded disk failure
 (:func:`repro.replica.avail.run_avail_sweep`), the ``ingest``
 subcommand sweeps ingest goodput per layout x bulk loader
-(:func:`repro.ingest.sweep.run_ingest_sweep`), and the ``perf``
+(:func:`repro.ingest.sweep.run_ingest_sweep`), the ``perf``
 subcommand measures plan-preparation throughput per layout
 (:func:`repro.perf.sweep.run_perf_sweep`) — with ``--check`` it gates
 the numbers against a pinned baseline such as the checked-in
-``BENCH_perf.json`` and exits non-zero on regression.  The ``--list-*``
-flags (layouts, drives, strategies, cache policies, prefetchers,
-replica placements, read policies, loaders, streams, perf probes)
-print the registered names with descriptions and exit, so users can
-discover what every registry holds without reading source.
+``BENCH_perf.json`` and exits non-zero on regression — and the
+``trace`` subcommand runs a telemetry-attached storm
+(:func:`repro.obs.trace_cmd.run_trace`) and prints the slowest
+queries, phase totals, and a per-disk utilisation timeline (with
+``--export`` it writes the span trace through a registered exporter).
+The ``--list-*`` flags (one per registry, all driven by the
+``_LISTINGS`` table below) print the registered names with
+descriptions and exit, so users can discover what every registry holds
+without reading source.
 
 Examples::
 
@@ -264,78 +268,55 @@ def _add_scale_parser(subparsers) -> None:
     p.set_defaults(func=_scale_main)
 
 
+#: one row per registry the CLI can list: (argparse dest, printed
+#: title, defining module, registry attribute, --help text).  Both the
+#: flag definitions in :func:`main` and :func:`_list_registries` are
+#: generated from this table, so adding a registry is one line here.
+_LISTINGS = (
+    ("list_layouts", "layouts", "repro.api.registry", "LAYOUTS",
+     "print registered layout names and exit"),
+    ("list_drives", "drives", "repro.api.registry", "DRIVES",
+     "print registered drive-model names and exit"),
+    ("list_strategies", "strategies", "repro.lvm.striping", "STRATEGIES",
+     "print registered declustering strategies and exit"),
+    ("list_policies", "cache policies", "repro.cache", "POLICIES",
+     "print registered cache eviction policies and exit"),
+    ("list_prefetchers", "prefetchers", "repro.cache", "PREFETCHERS",
+     "print registered cache prefetchers and exit"),
+    ("list_placements", "replica placements", "repro.replica",
+     "PLACEMENTS", "print registered replica placements and exit"),
+    ("list_read_policies", "read policies", "repro.replica",
+     "READ_POLICIES", "print registered replica read policies and exit"),
+    ("list_loaders", "bulk loaders", "repro.ingest", "LOADERS",
+     "print registered bulk loaders and exit"),
+    ("list_streams", "record streams", "repro.ingest", "STREAMS",
+     "print registered record streams and exit"),
+    ("list_probes", "perf probes", "repro.perf.profile", "PROBE_SPECS",
+     "print the perf profiling counters/timers and exit"),
+    ("list_exporters", "trace exporters", "repro.obs", "EXPORTERS",
+     "print registered trace exporters and exit"),
+)
+
+
 def _list_registries(args) -> bool:
-    """Print the requested registry listings; True if any were asked."""
+    """Print the requested registry listings; True if any were asked.
+
+    :class:`~repro.registry.DocsView` resolves each entry's description
+    uniformly (``.description`` attribute, else the registrant's
+    docstring first line), and ``Registry.items()`` sorts by name, so
+    every section prints identically to its hand-written predecessor.
+    """
+    from importlib import import_module
+
+    from repro.registry import DocsView
+
     sections = []
-    if args.list_layouts:
-        from repro.api.registry import LAYOUTS
-
-        sections.append(("layouts", [
-            (name, entry.description) for name, entry in LAYOUTS.items()
-        ]))
-    if args.list_drives:
-        from repro.api.registry import DRIVES
-
-        sections.append(("drives", [
-            (name, entry.description) for name, entry in DRIVES.items()
-        ]))
-    if args.list_strategies:
-        from repro.lvm.striping import STRATEGIES
-
-        sections.append(("strategies", [
-            (name, entry.description)
-            for name, entry in STRATEGIES.items()
-        ]))
-    if args.list_policies:
-        from repro.cache import POLICIES
-        from repro.registry import first_doc_line
-
-        # cache registries hold the classes themselves; their docstring
-        # first line is the description
-        sections.append(("cache policies", [
-            (name, first_doc_line(cls))
-            for name, cls in POLICIES.items()
-        ]))
-    if args.list_prefetchers:
-        from repro.cache import PREFETCHERS
-        from repro.registry import first_doc_line
-
-        sections.append(("prefetchers", [
-            (name, first_doc_line(cls))
-            for name, cls in PREFETCHERS.items()
-        ]))
-    if args.list_placements:
-        from repro.replica import PLACEMENTS
-
-        sections.append(("replica placements", [
-            (name, entry.description)
-            for name, entry in PLACEMENTS.items()
-        ]))
-    if args.list_read_policies:
-        from repro.replica import READ_POLICIES
-
-        sections.append(("read policies", [
-            (name, entry.description)
-            for name, entry in READ_POLICIES.items()
-        ]))
-    if args.list_loaders:
-        from repro.ingest import LOADERS
-
-        sections.append(("bulk loaders", [
-            (name, entry.description)
-            for name, entry in LOADERS.items()
-        ]))
-    if args.list_streams:
-        from repro.ingest import STREAMS
-
-        sections.append(("record streams", [
-            (name, entry.description)
-            for name, entry in STREAMS.items()
-        ]))
-    if args.list_probes:
-        from repro.perf import PROBE_DOCS
-
-        sections.append(("perf probes", sorted(PROBE_DOCS.items())))
+    for dest, kind, module, attr, _ in _LISTINGS:
+        if not getattr(args, dest):
+            continue
+        registry = getattr(import_module(module), attr)
+        docs = DocsView(registry)
+        sections.append((kind, [(name, docs[name]) for name in registry]))
     for kind, rows in sections:
         print(f"registered {kind}:")
         width = max((len(name) for name, _ in rows), default=0)
@@ -612,6 +593,95 @@ def _add_traffic_parser(subparsers) -> None:
     p.set_defaults(func=_traffic_main)
 
 
+def _trace_main(args) -> int:
+    from repro.obs.trace_cmd import render_trace, run_trace
+
+    data, tele = run_trace(
+        _csv_ints(args.shape),
+        layout=args.layout,
+        drive=args.drive,
+        clients=args.clients,
+        queries=args.queries,
+        mix=args.mix,
+        arrival=args.arrival,
+        rate=args.rate,
+        think_ms=args.think_ms,
+        seed=args.seed,
+        slice_runs=args.slice_runs if args.slice_runs else None,
+        head=args.head,
+        top=args.top,
+        bins=args.bins,
+        exporter=args.export,
+    )
+    if not args.quiet:
+        print(render_trace(data))
+    if args.export:
+        text = tele.export(args.export, path=args.trace_out)
+        if args.trace_out:
+            if not args.quiet:
+                print(f"wrote {args.export} trace to {args.trace_out}")
+        else:
+            print(text, end="" if text.endswith("\n") else "\n")
+    if args.json:
+        _write_json_report(args.json, data, "trace.json", args.quiet)
+    return 0
+
+
+def _add_trace_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "trace",
+        help="telemetry-attached storm: slowest queries, phase totals, "
+        "per-disk utilisation",
+        description="Run one traffic storm with tracing and metrics "
+        "attached, then print the top-N slowest queries with per-phase "
+        "breakdowns, aggregate phase totals, and a per-disk utilisation "
+        "timeline.  --export renders the span trace through a "
+        "registered exporter (see --list-exporters).",
+    )
+    p.add_argument("--shape", default="64,64,32",
+                   help="dataset dims, comma-separated (default 64,64,32)")
+    p.add_argument("--layout", default="multimap",
+                   help="registered layout (default multimap)")
+    p.add_argument("--drive", default="atlas10k3",
+                   help="registered drive model (default atlas10k3)")
+    p.add_argument("--clients", type=int, default=2,
+                   help="concurrent clients (default 2)")
+    p.add_argument("--queries", type=int, default=8,
+                   help="queries per client (default 8)")
+    p.add_argument("--mix", default=None, type=_parse_mix,
+                   help="query mix, e.g. 'beam:1,beam:2,range:1.0' "
+                   "(default: beams over axes 1..n-1)")
+    p.add_argument("--arrival", choices=("closed", "poisson", "bursty"),
+                   default="closed", help="arrival model (default closed)")
+    p.add_argument("--think-ms", type=float, default=0.0,
+                   help="closed-loop think time in ms")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="per-client rate for poisson (q/s) or bursty "
+                   "(bursts/s)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="base seed; every client stream derives from it")
+    p.add_argument("--slice-runs", type=int, default=64,
+                   help="runs per service slice; 0 = whole query per "
+                   "batch (default 64)")
+    p.add_argument("--head", choices=("random", "carry"), default="random",
+                   help="per-query random head position or carry-over")
+    p.add_argument("--top", type=int, default=5,
+                   help="slowest queries to show (default 5)")
+    p.add_argument("--bins", type=int, default=24,
+                   help="time bins in the utilisation timeline "
+                   "(default 24)")
+    p.add_argument("--export", default=None,
+                   help="render the span trace through this exporter "
+                   "(jsonl, chrome, prometheus)")
+    p.add_argument("--trace-out", default=None,
+                   help="file for the exported trace (default: stdout)")
+    p.add_argument("--json", default=None,
+                   help="JSON output file (or directory)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress table output")
+    p.set_defaults(func=_trace_main)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="multimap-bench",
@@ -636,46 +706,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress table output"
     )
-    parser.add_argument(
-        "--list-layouts", action="store_true",
-        help="print registered layout names and exit",
-    )
-    parser.add_argument(
-        "--list-drives", action="store_true",
-        help="print registered drive-model names and exit",
-    )
-    parser.add_argument(
-        "--list-strategies", action="store_true",
-        help="print registered declustering strategies and exit",
-    )
-    parser.add_argument(
-        "--list-policies", action="store_true",
-        help="print registered cache eviction policies and exit",
-    )
-    parser.add_argument(
-        "--list-prefetchers", action="store_true",
-        help="print registered cache prefetchers and exit",
-    )
-    parser.add_argument(
-        "--list-placements", action="store_true",
-        help="print registered replica placements and exit",
-    )
-    parser.add_argument(
-        "--list-read-policies", action="store_true",
-        help="print registered replica read policies and exit",
-    )
-    parser.add_argument(
-        "--list-loaders", action="store_true",
-        help="print registered bulk loaders and exit",
-    )
-    parser.add_argument(
-        "--list-streams", action="store_true",
-        help="print registered record streams and exit",
-    )
-    parser.add_argument(
-        "--list-probes", action="store_true",
-        help="print the perf profiling counters/timers and exit",
-    )
+    for dest, _, _, _, help_text in _LISTINGS:
+        parser.add_argument(
+            "--" + dest.replace("_", "-"), action="store_true",
+            help=help_text,
+        )
     subparsers = parser.add_subparsers(dest="command")
     _add_traffic_parser(subparsers)
     _add_cache_parser(subparsers)
@@ -683,6 +718,7 @@ def main(argv=None) -> int:
     _add_avail_parser(subparsers)
     _add_ingest_parser(subparsers)
     _add_perf_parser(subparsers)
+    _add_trace_parser(subparsers)
     args = parser.parse_args(argv)
     listed = _list_registries(args)
     if args.command is not None:

@@ -64,3 +64,8 @@ class IngestError(ReproError):
     """Raised by :mod:`repro.ingest` for invalid stream/loader
     configuration or an unserviceable flush (e.g. every copy of a
     chunk's write targets on failed disks)."""
+
+
+class ObsError(ReproError):
+    """Raised by :mod:`repro.obs` for invalid telemetry configuration
+    (unknown exporter, mismatched histogram buckets, malformed spans)."""

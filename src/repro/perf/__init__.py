@@ -24,7 +24,15 @@ loads lazily.
 from __future__ import annotations
 
 from repro.perf.memo import MEMO, MapperMemo
-from repro.perf.profile import PROBE_DOCS, PROBES, PerfProbes, profiled
+from repro.perf.profile import (
+    PROBE_DOCS,
+    PROBE_SPECS,
+    PROBES,
+    PerfProbes,
+    ProbeSpec,
+    profiled,
+    register_probe,
+)
 
 #: lazily loaded names -> defining module (sweep/reference pull in the
 #: Dataset façade, which imports the mappers that import repro.perf.memo)
@@ -41,8 +49,11 @@ __all__ = [
     "MapperMemo",
     "PROBES",
     "PROBE_DOCS",
+    "PROBE_SPECS",
     "PerfProbes",
+    "ProbeSpec",
     "profiled",
+    "register_probe",
     *_LAZY_EXPORTS,
 ]
 

@@ -7,34 +7,114 @@ gated ``"perf"`` entry (a :meth:`PerfProbes.delta` of the run); while
 disabled — the default — every report and traffic JSON stays
 bit-identical to a build without probes.  Timers measure wall clock and
 never feed back into simulated results, so determinism is untouched.
+
+Since the :mod:`repro.obs` telemetry layer landed, :class:`PerfProbes`
+is a **deprecation shim**: a
+:class:`~repro.obs.metrics.MetricsRegistry` subclass adding only the
+``enabled`` gate (and the legacy ``count`` spelling of ``inc``).  Its
+snapshots keep the historical two-key ``{"counters", "timers_ms"}``
+shape because the probe hooks never touch gauges or histograms and the
+registry gates those keys on being non-empty.
+
+Probe *names* are now declared in the :data:`PROBE_SPECS` registry —
+one documented marker function per probe, its docstring first line the
+description — and :data:`PROBE_DOCS` is a live
+:class:`~repro.registry.DocsView` over it, so ``repro-bench
+--list-probes`` derives its table from the registrations instead of a
+hand-maintained dict.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from time import perf_counter
+from dataclasses import dataclass
 
-__all__ = ["PerfProbes", "PROBES", "PROBE_DOCS", "profiled"]
+from repro.obs.metrics import MetricsRegistry
+from repro.registry import DocsView, Registry, first_doc_line
 
-#: every probe name the hooks may emit, with a one-line description
-#: (surfaced by ``repro-bench --list-probes``)
-PROBE_DOCS = {
-    "plans_prepared": "request plans pushed through prepare_plan",
-    "cells_planned": "dataset cells covered by prepared plans",
-    "runs_prepared": "coalesced runs across prepared plans",
-    "prepare_plan_ms": "wall time inside StorageManager.prepare_plan",
-    "traffic_events": "events popped off the traffic simulator's heap",
-    "traffic_run_ms": "wall time inside TrafficSim.run",
-}
+__all__ = [
+    "PerfProbes",
+    "PROBES",
+    "PROBE_DOCS",
+    "PROBE_SPECS",
+    "ProbeSpec",
+    "profiled",
+    "register_probe",
+]
 
 
-class PerfProbes:
-    """A named counter/timer registry (off by default)."""
+@dataclass(frozen=True)
+class ProbeSpec:
+    """One declared probe: the counter/timer name the hooks emit."""
+
+    name: str
+    fn: object
+    description: str
+
+
+PROBE_SPECS = Registry("perf probe")
+
+
+def register_probe(name: str, *, description: str = ""):
+    """Declare a probe name (decorator over a documented marker
+    function; the docstring first line becomes the description)."""
+
+    def decorator(fn):
+        PROBE_SPECS.add(name, ProbeSpec(
+            name=name, fn=fn,
+            description=description or first_doc_line(fn),
+        ))
+        return fn
+
+    return decorator
+
+
+@register_probe("plans_prepared")
+def _plans_prepared():
+    """request plans pushed through prepare_plan"""
+
+
+@register_probe("cells_planned")
+def _cells_planned():
+    """dataset cells covered by prepared plans"""
+
+
+@register_probe("runs_prepared")
+def _runs_prepared():
+    """coalesced runs across prepared plans"""
+
+
+@register_probe("prepare_plan_ms")
+def _prepare_plan_ms():
+    """wall time inside StorageManager.prepare_plan"""
+
+
+@register_probe("traffic_events")
+def _traffic_events():
+    """events popped off the traffic simulator's heap"""
+
+
+@register_probe("traffic_run_ms")
+def _traffic_run_ms():
+    """wall time inside TrafficSim.run"""
+
+
+#: live name -> description view over the declared probes (surfaced by
+#: ``repro-bench --list-probes``)
+PROBE_DOCS = DocsView(PROBE_SPECS)
+
+
+class PerfProbes(MetricsRegistry):
+    """A named counter/timer registry (off by default).
+
+    Deprecation shim over :class:`~repro.obs.metrics.MetricsRegistry`:
+    adds the ``enabled`` gate the prepare/traffic hooks check, and keeps
+    ``count`` as the legacy spelling of :meth:`MetricsRegistry.inc`.
+    """
 
     def __init__(self) -> None:
+        super().__init__()
         self.enabled = False
-        self.counters: dict[str, int] = {}
-        self.timers_ms: dict[str, float] = {}
 
     def enable(self) -> None:
         self.enabled = True
@@ -42,48 +122,8 @@ class PerfProbes:
     def disable(self) -> None:
         self.enabled = False
 
-    def reset(self) -> None:
-        self.counters.clear()
-        self.timers_ms.clear()
-
-    def count(self, name: str, n: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + int(n)
-
-    def add_time(self, name: str, ms: float) -> None:
-        self.timers_ms[name] = self.timers_ms.get(name, 0.0) + float(ms)
-
-    @contextmanager
-    def timer(self, name: str):
-        """Accumulate the wall time of a ``with`` block under ``name``."""
-        t0 = perf_counter()
-        try:
-            yield self
-        finally:
-            self.add_time(name, (perf_counter() - t0) * 1e3)
-
-    def snapshot(self) -> dict:
-        """A copy of the current totals (a :meth:`delta` baseline)."""
-        return {
-            "counters": dict(self.counters),
-            "timers_ms": dict(self.timers_ms),
-        }
-
-    def delta(self, since: dict | None = None) -> dict:
-        """Totals accumulated since ``since`` (JSON-friendly, rounded
-        timers, zero-change names dropped)."""
-        base_c = (since or {}).get("counters", {})
-        base_t = (since or {}).get("timers_ms", {})
-        counters = {
-            name: total - base_c.get(name, 0)
-            for name, total in sorted(self.counters.items())
-            if total != base_c.get(name, 0)
-        }
-        timers = {
-            name: round(total - base_t.get(name, 0.0), 3)
-            for name, total in sorted(self.timers_ms.items())
-            if total != base_t.get(name, 0.0)
-        }
-        return {"counters": counters, "timers_ms": timers}
+    #: legacy spelling of :meth:`MetricsRegistry.inc`
+    count = MetricsRegistry.inc
 
 
 #: the process-wide registry the hooks report to

@@ -18,7 +18,7 @@ storage manager.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import ClassVar
 
@@ -28,6 +28,7 @@ from repro.disk.drive import BatchResult
 from repro.errors import QueryError
 from repro.lvm.volume import LogicalVolume
 from repro.mappings.base import Mapper, RequestPlan, coalesce_ranks
+from repro.obs.span import record_one_shot
 from repro.perf.profile import PROBES
 from repro.query.scheduler import effective_policy, merge_plan_runs
 from repro.query.workload import BeamQuery, RangeQuery
@@ -63,6 +64,9 @@ class PreparedQuery:
     cache_hits: int = 0
     cache_runs: int = 0
     cache_ms: float = 0.0
+    #: preparation record for an attached telemetry (None when detached;
+    #: excluded from equality so observed and unobserved plans compare equal)
+    obs: object = field(default=None, compare=False, repr=False)
 
     @property
     def n_runs(self) -> int:
@@ -146,6 +150,9 @@ class StorageManager:
         self.sptf_run_limit = int(sptf_run_limit)
         self.coalesce_gap_blocks = int(coalesce_gap_blocks)
         self.cache = cache
+        #: attached :class:`repro.obs.Telemetry`, or None (the default:
+        #: every path below is then bit-identical to a build without obs)
+        self.obs = None
 
     # ------------------------------------------------------------------
     # plan execution
@@ -167,6 +174,9 @@ class StorageManager:
         probing = PROBES.enabled
         if probing:
             t0 = perf_counter()
+        observing = self.obs is not None
+        if observing:
+            raw_runs = plan.n_runs
         if plan.policy in ("sorted", "sptf"):
             gap = plan.merge_gap
             if gap is None:
@@ -197,6 +207,7 @@ class StorageManager:
             cache_hits=cache_hits,
             cache_runs=cache_runs,
             cache_ms=cache_ms,
+            obs={"raw_runs": raw_runs} if observing else None,
         )
 
     def prepare(self, mapper: Mapper, query) -> PreparedQuery:
@@ -236,6 +247,10 @@ class StorageManager:
             plan=plan,
             policy=effective_policy(plan, self.sptf_run_limit),
             n_cells=int(n_points),
+            obs=(
+                {"raw_runs": int(lbns.size)}
+                if self.obs is not None else None
+            ),
         )
 
     def execute_prepared(
@@ -262,6 +277,9 @@ class StorageManager:
             window=self.window,
         )
         self.admit_prepared(prepared)
+        tele = self.obs
+        if tele is not None:
+            record_one_shot(tele, prepared, res)
         return QueryResult(
             mapper=prepared.mapper_name,
             total_ms=res.total_ms + prepared.cache_ms,

@@ -92,6 +92,12 @@ class ShardedPrepared:
     def cache_ms(self) -> float:
         return sum(sub.cache_ms for sub in self.subs)
 
+    @property
+    def obs(self):
+        """The sub-plans' preparation records (a property, not a field,
+        so shard/replica constructors need no telemetry plumbing)."""
+        return tuple(sub.obs for sub in self.subs)
+
 
 def subplans(prepared) -> tuple[PreparedQuery, ...]:
     """The per-disk sub-plans of any prepared form (plain or sharded)."""
@@ -126,6 +132,8 @@ def scatter_execute(
     for sub in prepared.subs:
         by_disk.setdefault(sub.disk_index, []).append(sub)
 
+    tele = getattr(storage, "obs", None)
+    parts: list[tuple] = []
     per_disk: dict[int, dict] = {}
     seek = rotation = transfer = switch = 0.0
     blocks = runs = 0
@@ -144,6 +152,8 @@ def scatter_execute(
                 window=storage.window,
             )
             storage.admit_prepared(sub)
+            if tele is not None:
+                parts.append((sub, res))
             busy += res.total_ms + sub.cache_ms
             d_blocks += res.n_blocks + sub.cache_hits
             d_runs += res.n_requests + sub.cache_runs
@@ -170,4 +180,8 @@ def scatter_execute(
         switch_ms=switch,
         policy=prepared.policy,
     )
+    if tele is not None:
+        from repro.obs.span import record_scatter
+
+        record_scatter(tele, prepared, parts, result)
     return result, per_disk

@@ -11,11 +11,12 @@ inverting the layering: the façade's layout/drive tables
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from typing import Callable, Iterator
 
 from repro.errors import RegistryError
 
-__all__ = ["Registry", "first_doc_line"]
+__all__ = ["DocsView", "Registry", "first_doc_line"]
 
 
 def first_doc_line(obj) -> str:
@@ -93,6 +94,40 @@ class Registry:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Registry({self.kind!r}, {len(self._entries)} entries)"
+
+
+class DocsView(Mapping):
+    """A read-only ``name -> description`` mapping over a registry.
+
+    Descriptions come from each entry's ``description`` attribute, or —
+    for registries holding bare classes/functions — the registrant's
+    docstring first line (:func:`first_doc_line`).  The perf probe table
+    exposes :data:`repro.perf.profile.PROBE_DOCS` through this view, so
+    probe docs stay in sync with the registered definitions instead of a
+    hand-maintained dict.
+    """
+
+    def __init__(self, registry: Registry):
+        self._registry = registry
+
+    def __getitem__(self, name: str) -> str:
+        entry = self._registry.get(name)
+        if isinstance(entry, str):
+            return entry
+        desc = getattr(entry, "description", None)
+        return desc if desc else first_doc_line(entry)
+
+    def __contains__(self, name) -> bool:
+        return name in self._registry
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry.names())
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DocsView({self._registry!r})"
 
 
 def _same_registrant(old, new) -> bool:

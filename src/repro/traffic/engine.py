@@ -75,6 +75,7 @@ from time import perf_counter
 
 from repro.disk.drive import BatchResult, DiskDrive
 from repro.errors import QueryError
+from repro.obs.span import record_traffic_query
 from repro.perf.profile import PROBES
 from repro.query.scatter import subplans
 from repro.query.scheduler import slice_plan
@@ -135,7 +136,7 @@ class _Query:
                  "start_ms", "started", "acc", "index", "disk",
                  "cache_ms", "cache_hits", "cache_runs", "n_slices",
                  "disk_cache", "disk_remaining", "done_ms",
-                 "failover_subs", "abandoned")
+                 "failover_subs", "abandoned", "obs")
 
     def __init__(self, cs, query, prepared, arrival_ms, index):
         self.cs = cs
@@ -164,6 +165,11 @@ class _Query:
         # the disk is revived before the query completes)
         self.failover_subs: list = []
         self.abandoned: list = []
+        # telemetry scratchpad (None when the client's storage carries
+        # no Telemetry): the cache shares as captured at submission
+        # (before billing zeroes them), serviced slices, and failover
+        # events — distilled into one span tree at completion
+        self.obs: dict | None = None
 
 
 class _Job:
@@ -333,6 +339,11 @@ class TrafficSim:
                         qs.disk_remaining.get(disk, 0) + 1
                     )
                     real.append((sub, sources[i] if sources else None))
+            tele = getattr(c.storage, "obs", None)
+            if tele is not None:
+                # snapshot the cache shares BEFORE billing zeroes them
+                qs.obs = {"tele": tele, "cache": dict(qs.disk_cache),
+                          "slices": [], "events": []}
             # a disk whose sub-plans all hit the cache is done after its
             # memory service alone (it never occupies the drive queue).
             # disk_cache holds UNBILLED memory time: every billing site
@@ -437,6 +448,22 @@ class TrafficSim:
             makespan = max(makespan, t_done)
             if cfg.collect_traces:
                 traces.append(self._trace(qs, t_done))
+            if qs.obs is not None:
+                record_traffic_query(
+                    qs.obs["tele"],
+                    client=cs.client.name,
+                    label=describe_query(qs.query),
+                    index=qs.index,
+                    n_cells=qs.prepared.n_cells,
+                    policy=qs.prepared.policy,
+                    arrival_ms=qs.arrival_ms,
+                    start_ms=qs.start_ms,
+                    done_ms=t_done,
+                    prepared=qs.prepared,
+                    cache=qs.obs["cache"],
+                    slices=qs.obs["slices"],
+                    events=qs.obs["events"],
+                )
             arrival = cs.client.arrival
             if arrival.closed and cs.issued < cs.client.n_queries:
                 push(arrival.next_after_completion(t_done), "arrive", cs)
@@ -465,6 +492,10 @@ class TrafficSim:
                         f"an acknowledged ingest batch would be lost"
                     )
                 n_dropped_writes += 1
+                if qs.obs is not None:
+                    qs.obs["events"].append(
+                        ("dropped_write", t, job.disk, None)
+                    )
                 if job.sub is not None:
                     qs.abandoned.append(job.sub)
                 old = job.disk
@@ -487,6 +518,14 @@ class TrafficSim:
                 )
             source, sub = storage.failover_sub(job.source)
             n_redispatched += 1
+            if qs.obs is not None:
+                qs.obs["events"].append(
+                    ("failover", t, job.disk, sub.disk_index)
+                )
+                qs.obs["cache"][sub.disk_index] = (
+                    qs.obs["cache"].get(sub.disk_index, 0.0)
+                    + sub.cache_ms
+                )
             if job.sub is not None:
                 qs.abandoned.append(job.sub)
             old = job.disk
@@ -642,6 +681,12 @@ class TrafficSim:
                     continue
                 jq = job.qs
                 jq.acc = jq.acc + res
+                if jq.obs is not None:
+                    # the slice was dispatched at t - res.total_ms
+                    jq.obs["slices"].append((
+                        job.disk, t - res.total_ms, res,
+                        bool(getattr(job.sub, "is_write", False)),
+                    ))
                 ds.busy_ms += res.total_ms
                 ds.served_slices += 1
                 ds.served_blocks += res.n_blocks
@@ -742,6 +787,19 @@ class TrafficSim:
                 replicated[0].describe_replicas()
                 if len(replicated) == 1
                 else [s.describe_replicas() for s in replicated],
+            )
+        teles = []
+        for c in self.clients:
+            tele = getattr(c.storage, "obs", None)
+            if tele is not None and not any(tele is x for x in teles):
+                teles.append(tele)
+        if teles:
+            # gated on a Telemetry being attached, so detached runs
+            # keep their JSON layout bit-for-bit
+            meta.setdefault(
+                "obs",
+                teles[0].describe() if len(teles) == 1
+                else [x.describe() for x in teles],
             )
         if probing:
             # gated on the probes being enabled, so default runs keep

@@ -1,0 +1,1 @@
+"""Telemetry (repro.obs) test suite."""

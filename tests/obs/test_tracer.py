@@ -1,0 +1,114 @@
+"""Span trees and the seeded batch clock, through real executions."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import Span, Tracer
+
+
+class TestSpan:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ObsError):
+            Span("bad", "service", 0.0, -1.0)
+
+    def test_interval_and_walk(self):
+        leaf = Span("leaf", "service", 1.0, 2.0)
+        root = Span("root", "query", 0.0, 5.0, children=(leaf,))
+        assert root.t1_ms == 5.0
+        assert [s.name for s in root.walk()] == ["root", "leaf"]
+
+    def test_to_dict_gates_attrs_and_children(self):
+        bare = Span("s", "cache", 0.0, 1.0)
+        assert set(bare.to_dict()) == {"name", "cat", "t0_ms", "dur_ms"}
+        rich = Span("s", "cache", 0.0, 1.0, attrs={"b": 1, "a": 2},
+                    children=(bare,))
+        d = rich.to_dict()
+        assert list(d["attrs"]) == ["a", "b"]
+        assert len(d["children"]) == 1
+
+
+class TestTracer:
+    def test_clock_advances_and_resets(self):
+        tr = Tracer()
+        tr.record(Span("q0", "query", 0.0, 3.0))
+        tr.advance(3.0)
+        assert tr.clock_ms == 3.0
+        assert tr.n_queries == 1
+        tr.reset()
+        assert tr.clock_ms == 0.0 and tr.roots == []
+
+    def test_phase_ms_sums_by_category(self):
+        tr = Tracer()
+        tr.record(Span("q0", "query", 0.0, 3.0, children=(
+            Span("d0", "service", 0.0, 2.0),
+            Span("c0", "cache", 2.0, 1.0),
+        )))
+        assert tr.phase_ms() == {"cache": 1.0, "query": 3.0, "service": 2.0}
+
+
+class TestBatchRecording:
+    def test_one_root_per_query_with_nested_phases(self, make_dataset):
+        ds = make_dataset().with_telemetry()
+        report = ds.random_beams(axis=1, n=3).run()
+        tracer = ds.telemetry.tracer
+        assert tracer.n_queries == 3
+        for root in tracer.roots:
+            assert root.cat == "query"
+            cats = [c.cat for c in root.children]
+            assert cats[0] == "prepare"
+            assert cats[-1] == "service"
+            # children tile the root exactly (prepare is an instant)
+            assert sum(c.dur_ms for c in root.children) == pytest.approx(
+                root.dur_ms
+            )
+            for child in root.children:
+                assert child.t0_ms >= root.t0_ms
+                assert child.t1_ms <= root.t1_ms + 1e-9
+        assert "obs" in report.meta
+
+    def test_batch_clock_tiles_queries(self, make_dataset):
+        ds = make_dataset().with_telemetry()
+        ds.random_beams(axis=2, n=4).run()
+        tracer = ds.telemetry.tracer
+        t = 0.0
+        for root in tracer.roots:
+            assert root.t0_ms == pytest.approx(t)
+            t += root.dur_ms
+        assert tracer.clock_ms == pytest.approx(t)
+
+    def test_root_duration_matches_query_result(self, make_dataset):
+        ds = make_dataset().with_telemetry()
+        report = ds.random_beams(axis=1, n=3).run()
+        durs = [root.dur_ms for root in ds.telemetry.tracer.roots]
+        totals = [r.result.total_ms for r in report.records]
+        assert durs == pytest.approx(totals)
+
+    def test_cached_run_records_cache_spans(self, make_dataset):
+        ds = make_dataset().with_cache(512).with_telemetry()
+        # the same beam twice: the repeat is serviced from the pool
+        ds.beam(1, fixed=(0, 0, 0)).beam(1, fixed=(0, 0, 0)).run()
+        cats = set()
+        for root in ds.telemetry.tracer.roots:
+            cats.update(c.cat for c in root.children)
+        assert "cache" in cats
+
+    def test_sharded_scatter_spans_carry_disks(self, make_dataset):
+        ds = make_dataset().with_shards(2).with_telemetry()
+        ds.random_beams(axis=1, n=2).run()
+        tracer = ds.telemetry.tracer
+        assert tracer.n_queries == 2
+        disks = {
+            s.attrs["disk"]
+            for root in tracer.roots
+            for s in root.walk()
+            if s.cat == "service"
+        }
+        assert len(disks) > 1  # both member disks serviced sub-plans
+
+    def test_metrics_half_counts_queries(self, make_dataset):
+        ds = make_dataset().with_telemetry()
+        ds.random_beams(axis=1, n=3).run()
+        m = ds.telemetry.metrics
+        assert m.counters["queries"] == 3
+        assert m.histograms["query_ms"].count == 3
+        assert m.counters["spans"] == ds.telemetry.tracer.n_spans
