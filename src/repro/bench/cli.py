@@ -1,7 +1,7 @@
 """Command-line entry point: ``python -m repro.bench`` / ``repro-bench``
 (also installed as ``multimap-bench``).
 
-Eight modes: the default regenerates paper figures, the ``traffic``
+Ten modes: the default regenerates paper figures, the ``traffic``
 subcommand runs the multi-client traffic storm
 (:func:`repro.traffic.storm.run_storm`), the ``cache`` subcommand
 sweeps buffer-pool capacities per layout
@@ -20,6 +20,12 @@ the numbers against a pinned baseline such as the checked-in
 (:func:`repro.obs.trace_cmd.run_trace`) and prints the slowest
 queries, phase totals, and a per-disk utilisation timeline (with
 ``--export`` it writes the span trace through a registered exporter).
+The ``dashboard`` subcommand runs a monitored storm
+(:func:`repro.monitor.dashboard.run_dashboard`) and renders the
+windowed time-series, SLO alerts, and health timeline, and the
+``diff`` subcommand compares two exported run reports
+(:func:`repro.monitor.diff.diff_runs`), exiting 1 when a metric moved
+beyond the tolerance band.
 The ``--list-*`` flags (one per registry, all driven by the
 ``_LISTINGS`` table below) print the registered names with
 descriptions and exit, so users can discover what every registry holds
@@ -46,6 +52,10 @@ Examples::
     repro-bench --list-probes
     repro-bench perf --json BENCH_perf.json
     repro-bench perf --check BENCH_perf.json --json results/perf.json
+    repro-bench --list-rules
+    repro-bench dashboard --shape 32,12,12 --shards 2 --k 2 \\
+        --kill-at 40 --revive-at 160 --json run_a.json
+    repro-bench diff run_a.json run_b.json --tolerance 0.05
 """
 
 from __future__ import annotations
@@ -77,6 +87,22 @@ def _write_json_report(dest: str, data: dict, default_name: str,
     if not quiet:
         print(f"\nsaved {path}")
     return path
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be >= 1 (a zero or negative
+    value would silently render an empty table)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
 
 
 def _csv_ints(text: str) -> tuple[int, ...]:
@@ -295,6 +321,8 @@ _LISTINGS = (
      "print the perf profiling counters/timers and exit"),
     ("list_exporters", "trace exporters", "repro.obs", "EXPORTERS",
      "print registered trace exporters and exit"),
+    ("list_rules", "SLO rules", "repro.monitor", "RULES",
+     "print registered SLO monitoring rules and exit"),
 )
 
 
@@ -665,8 +693,9 @@ def _add_trace_parser(subparsers) -> None:
                    "batch (default 64)")
     p.add_argument("--head", choices=("random", "carry"), default="random",
                    help="per-query random head position or carry-over")
-    p.add_argument("--top", type=int, default=5,
-                   help="slowest queries to show (default 5)")
+    p.add_argument("--top", type=_positive_int, default=5,
+                   help="slowest queries to show (default 5, must be "
+                   "positive)")
     p.add_argument("--bins", type=int, default=24,
                    help="time bins in the utilisation timeline "
                    "(default 24)")
@@ -680,6 +709,131 @@ def _add_trace_parser(subparsers) -> None:
     p.add_argument("--quiet", action="store_true",
                    help="suppress table output")
     p.set_defaults(func=_trace_main)
+
+
+def _dashboard_main(args) -> int:
+    from repro.monitor.dashboard import render_dashboard, run_dashboard
+
+    data, tele = run_dashboard(
+        _csv_ints(args.shape),
+        layout=args.layout,
+        drive=args.drive,
+        clients=args.clients,
+        queries=args.queries,
+        mix=args.mix,
+        arrival=args.arrival,
+        rate=args.rate,
+        think_ms=args.think_ms,
+        seed=args.seed,
+        slice_runs=args.slice_runs if args.slice_runs else None,
+        head=args.head,
+        window_ms=args.window_ms,
+        shards=args.shards,
+        k=args.k,
+        kill_at=args.kill_at,
+        kill_disk=args.kill_disk,
+        revive_at=args.revive_at,
+    )
+    if not args.quiet:
+        print(render_dashboard(data))
+    if args.json:
+        _write_json_report(args.json, data, "dashboard.json", args.quiet)
+    return 0
+
+
+def _add_dashboard_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "dashboard",
+        help="monitored storm: windowed series, SLO alerts, health",
+        description="Run one traffic storm with continuous monitoring "
+        "attached — optionally killing (and reviving) a member disk "
+        "mid-storm — then render the windowed time-series as sparkline "
+        "rows and a per-drive utilisation heatmap, plus every SLO "
+        "alert and the health-state timeline.  The --json export feeds "
+        "repro-bench diff.  Rules are listed by --list-rules.",
+    )
+    p.add_argument("--shape", default="64,64,32",
+                   help="dataset dims, comma-separated (default 64,64,32)")
+    p.add_argument("--layout", default="multimap",
+                   help="registered layout (default multimap)")
+    p.add_argument("--drive", default="atlas10k3",
+                   help="registered drive model (default atlas10k3)")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent clients (default 4)")
+    p.add_argument("--queries", type=int, default=16,
+                   help="queries per client (default 16)")
+    p.add_argument("--mix", default=None, type=_parse_mix,
+                   help="query mix, e.g. 'beam:1,beam:2,range:1.0' "
+                   "(default: beams over axes 1..n-1)")
+    p.add_argument("--arrival", choices=("closed", "poisson", "bursty"),
+                   default="closed", help="arrival model (default closed)")
+    p.add_argument("--think-ms", type=float, default=0.0,
+                   help="closed-loop think time in ms")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="per-client rate for poisson (q/s) or bursty "
+                   "(bursts/s)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="base seed; every client stream derives from it")
+    p.add_argument("--slice-runs", type=int, default=64,
+                   help="runs per service slice; 0 = whole query per "
+                   "batch (default 64)")
+    p.add_argument("--head", choices=("random", "carry"), default="random",
+                   help="per-query random head position or carry-over")
+    p.add_argument("--window-ms", type=float, default=50.0,
+                   help="tumbling-window size in simulated ms "
+                   "(default 50)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="decluster across this many member disks first")
+    p.add_argument("--k", type=int, default=None,
+                   help="replication factor (k >= 2 keeps a killed "
+                   "disk's data answerable)")
+    p.add_argument("--kill-at", type=float, default=None,
+                   help="kill a member disk at this simulated ms")
+    p.add_argument("--kill-disk", type=int, default=0,
+                   help="member disk to kill (default 0)")
+    p.add_argument("--revive-at", type=float, default=None,
+                   help="revive the killed disk at this simulated ms")
+    p.add_argument("--json", default=None,
+                   help="JSON output file (or directory)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress dashboard output")
+    p.set_defaults(func=_dashboard_main)
+
+
+def _diff_main(args) -> int:
+    from repro.monitor.diff import diff_runs, render_diff
+
+    base = json.loads(Path(args.base).read_text())
+    cur = json.loads(Path(args.current).read_text())
+    data = diff_runs(base, cur, tolerance=args.tolerance)
+    if not args.quiet:
+        print(render_diff(data))
+    if args.json:
+        _write_json_report(args.json, data, "diff.json", args.quiet)
+    return 1 if data["regressions"] else 0
+
+
+def _add_diff_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "diff",
+        help="compare two exported run reports; exit 1 on regression",
+        description="Load two --json exports (trace or dashboard runs) "
+        "and compare phase totals, latency quantiles, and the "
+        "window-by-window series, flagging every metric that moved "
+        "beyond the tolerance band in the bad direction.  Two same-seed "
+        "runs are bit-identical, so a clean diff is an exact-zero "
+        "check; exits 1 when regressions are flagged.",
+    )
+    p.add_argument("base", help="baseline report JSON")
+    p.add_argument("current", help="current report JSON")
+    p.add_argument("--tolerance", type=float, default=0.1,
+                   help="relative band a metric may move before it "
+                   "flags (default 0.1)")
+    p.add_argument("--json", default=None,
+                   help="JSON output file (or directory) for the diff")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress table output")
+    p.set_defaults(func=_diff_main)
 
 
 def main(argv=None) -> int:
@@ -719,6 +873,8 @@ def main(argv=None) -> int:
     _add_ingest_parser(subparsers)
     _add_perf_parser(subparsers)
     _add_trace_parser(subparsers)
+    _add_dashboard_parser(subparsers)
+    _add_diff_parser(subparsers)
     args = parser.parse_args(argv)
     listed = _list_registries(args)
     if args.command is not None:

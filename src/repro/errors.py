@@ -69,3 +69,9 @@ class IngestError(ReproError):
 class ObsError(ReproError):
     """Raised by :mod:`repro.obs` for invalid telemetry configuration
     (unknown exporter, mismatched histogram buckets, malformed spans)."""
+
+
+class MonitorError(ReproError):
+    """Raised by :mod:`repro.monitor` for invalid monitoring
+    configuration (bad window size, unknown SLO rule, malformed run
+    summaries handed to the differ)."""

@@ -1,0 +1,180 @@
+"""Run-to-run diffing of exported benchmark JSON.
+
+``repro-bench diff base.json current.json`` loads two reports written
+by the ``--json`` writer (``trace`` or ``dashboard`` exports — anything
+carrying ``makespan_ms``/``phase_ms`` and, when monitoring was on, a
+``monitor`` block) and compares them: phase totals, overall latency
+quantiles, and window-by-window throughput/p99 series, flagging every
+metric that moved beyond a relative tolerance band (with small absolute
+floors so sub-millisecond noise never flags).  Two same-seed runs are
+bit-identical, so a clean diff is an exact-zero check — which is what
+the CI monitor-smoke job relies on.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import render_table
+from repro.errors import MonitorError
+
+__all__ = ["diff_runs", "render_diff"]
+
+#: absolute floors under which a delta never flags, keyed per metric
+#: family — tolerance bands are relative, these stop tiny denominators
+_FLOORS = {"ms": 1.0, "qps": 1.0, "count": 0.5}
+
+
+def _monitor_block(data: dict) -> dict | None:
+    """The ``monitor`` payload wherever the report put it (top level
+    for dashboard exports, under ``meta`` for batch reports)."""
+    block = data.get("monitor")
+    if block is None:
+        block = (data.get("meta") or {}).get("monitor")
+    return block if isinstance(block, dict) else None
+
+
+def _flag(regressions, label, base, cur, tolerance, *,
+          floor="ms", worse="up"):
+    """Record a delta; append to ``regressions`` when it crossed the
+    tolerance band in the bad direction (``worse='up'`` means larger is
+    worse — latency; ``'down'`` means smaller is worse — throughput)."""
+    base = float(base)
+    cur = float(cur)
+    delta = cur - base
+    entry = {"base": round(base, 3), "cur": round(cur, 3),
+             "delta": round(delta, 3)}
+    bad = delta if worse == "up" else -delta
+    if bad > max(abs(base) * tolerance, _FLOORS[floor]):
+        entry["regressed"] = True
+        regressions.append(
+            f"{label}: {base:g} -> {cur:g} "
+            f"({'+' if delta >= 0 else ''}{delta:g})"
+        )
+    return entry
+
+
+def diff_runs(base: dict, cur: dict, *, tolerance: float = 0.1) -> dict:
+    """Compare two exported run reports.
+
+    Returns a JSON-friendly payload whose ``regressions`` list names
+    every metric that moved beyond ``tolerance`` (relative) in the bad
+    direction; empty for identical (same-seed) runs.
+    """
+    if not isinstance(base, dict) or not isinstance(cur, dict):
+        raise MonitorError("diff inputs must be exported report dicts")
+    tolerance = float(tolerance)
+    if tolerance < 0:
+        raise MonitorError(
+            f"tolerance must be >= 0, got {tolerance}"
+        )
+    regressions: list[str] = []
+    out: dict = {
+        "base_dataset": base.get("dataset"),
+        "cur_dataset": cur.get("dataset"),
+        "tolerance": tolerance,
+    }
+
+    # headline totals
+    totals = {}
+    if "makespan_ms" in base and "makespan_ms" in cur:
+        totals["makespan_ms"] = _flag(
+            regressions, "makespan_ms", base["makespan_ms"],
+            cur["makespan_ms"], tolerance, worse="up")
+    if "throughput_qps" in base and "throughput_qps" in cur:
+        totals["throughput_qps"] = _flag(
+            regressions, "throughput_qps", base["throughput_qps"],
+            cur["throughput_qps"], tolerance, floor="qps", worse="down")
+    out["totals"] = totals
+
+    # per-phase time totals (trace exports carry them top-level)
+    bp = base.get("phase_ms") or {}
+    cp = cur.get("phase_ms") or {}
+    out["phase_ms"] = {
+        cat: _flag(regressions, f"phase_ms.{cat}",
+                   bp.get(cat, 0.0), cp.get(cat, 0.0), tolerance,
+                   worse="up")
+        for cat in sorted(set(bp) | set(cp))
+    }
+
+    bmon = _monitor_block(base)
+    cmon = _monitor_block(cur)
+    if bmon is not None and cmon is not None:
+        # overall latency quantiles
+        bq = (bmon.get("summary") or {}).get("latency_ms", {})
+        cq = (cmon.get("summary") or {}).get("latency_ms", {})
+        out["quantiles"] = {
+            q: _flag(regressions, f"latency.{q}", bq.get(q, 0.0),
+                     cq.get(q, 0.0), tolerance, worse="up")
+            for q in sorted(set(bq) | set(cq))
+        }
+        # window-by-window regressions (compared over the shared span)
+        bw = bmon.get("windows") or []
+        cw = cmon.get("windows") or []
+        flagged = []
+        for b, c in zip(bw, cw):
+            row_regs: list[str] = []
+            _flag(row_regs, "qps", b.get("qps", 0.0), c.get("qps", 0.0),
+                  tolerance, floor="qps", worse="down")
+            _flag(row_regs, "p99_ms", b.get("p99_ms", 0.0),
+                  c.get("p99_ms", 0.0), tolerance, worse="up")
+            if row_regs:
+                w = b.get("w", len(flagged))
+                flagged.append({"w": w, "why": row_regs})
+                regressions.extend(f"window {w}: {r}" for r in row_regs)
+        out["windows"] = {
+            "base": len(bw),
+            "cur": len(cw),
+            "compared": min(len(bw), len(cw)),
+            "flagged": flagged,
+        }
+        # alert volume (more alerts = worse)
+        out["alerts"] = _flag(
+            regressions, "alerts", len(bmon.get("alerts") or ()),
+            len(cmon.get("alerts") or ()), tolerance, floor="count",
+            worse="up")
+        bh = (bmon.get("health") or {}).get("state")
+        ch = (cmon.get("health") or {}).get("state")
+        out["health"] = {"base": bh, "cur": ch}
+        if bh == "healthy" and ch not in (None, "healthy"):
+            regressions.append(f"health: {bh} -> {ch}")
+    out["regressions"] = regressions
+    return out
+
+
+def render_diff(data: dict) -> str:
+    """Human-readable diff table (the CLI's non-JSON output)."""
+    rows = []
+
+    def fam(name, metrics):
+        for key in sorted(metrics):
+            m = metrics[key]
+            rows.append([
+                f"{name}.{key}" if name else key,
+                f"{m['base']:g}", f"{m['cur']:g}", f"{m['delta']:+g}",
+                "REGRESSED" if m.get("regressed") else "ok",
+            ])
+
+    fam("", data.get("totals", {}))
+    fam("phase_ms", data.get("phase_ms", {}))
+    fam("latency", data.get("quantiles", {}))
+    if "alerts" in data:
+        fam("", {"alerts": data["alerts"]})
+    lines = [render_table(
+        ["metric", "base", "current", "delta", "status"], rows)]
+    windows = data.get("windows")
+    if windows:
+        lines.append(
+            f"windows: {windows['compared']} compared, "
+            f"{len(windows['flagged'])} flagged"
+        )
+    health = data.get("health")
+    if health and health.get("base") is not None:
+        lines.append(f"health: {health['base']} -> {health['cur']}")
+    regs = data.get("regressions", [])
+    if regs:
+        lines.append(f"{len(regs)} regression(s) beyond "
+                     f"tolerance {data.get('tolerance'):g}:")
+        lines.extend(f"  - {r}" for r in regs)
+    else:
+        lines.append("no regressions beyond tolerance "
+                     f"{data.get('tolerance'):g}")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""The continuous-monitoring handle attached via the dataset façade.
+
+:class:`Monitor` is what ``Dataset.with_telemetry(monitor=...)`` (or
+``with_monitor``) hangs off the dataset's
+:class:`~repro.obs.Telemetry`: the telemetry forwards every completed
+root span here, the traffic engine reports kill/revive capacity
+events, and :meth:`describe` assembles the gated ``meta["monitor"]``
+block — windowed time-series rows, SLO alerts, and the health-state
+timeline.
+
+Like the tracer's seeded batch clock, the monitor keeps its own
+``clock_ms`` so batch recordings (which each start at the tracer's
+clock, or at 0 when tracing is off) are translated onto one contiguous
+axis; traffic recordings already carry simulated times and pass
+through unshifted.  Everything downstream is a pure function of the
+recorded spans, so same seed + workload ⇒ a byte-identical payload.
+"""
+
+from __future__ import annotations
+
+from repro.monitor.health import HealthTracker
+from repro.monitor.slo import resolve_rules
+from repro.monitor.timeseries import TimeSeries
+from repro.obs.metrics import DEFAULT_BUCKETS_MS
+
+__all__ = ["Monitor"]
+
+
+class Monitor:
+    """Windowed time-series + SLO rules + health state for one dataset.
+
+    ``window_ms`` sizes the tumbling windows; ``rules`` takes any form
+    :func:`~repro.monitor.slo.resolve_rules` accepts (default: every
+    registered rule at its defaults); ``recover_windows`` is the
+    health machine's probation length.
+    """
+
+    def __init__(self, window_ms: float = 50.0, rules=None,
+                 recover_windows: int = 2, buckets=DEFAULT_BUCKETS_MS):
+        self.series = TimeSeries(window_ms, buckets=buckets)
+        self.rules = resolve_rules(rules)
+        self.health = HealthTracker(recover_windows)
+        #: batch-clock translation: batch roots sit on the tracer's
+        #: clock (or all at 0 with tracing off); the shift tiles them
+        #: onto the monitor's own axis either way
+        self.clock_ms = 0.0
+
+    @property
+    def window_ms(self) -> float:
+        return self.series.window_ms
+
+    # ------------------------------------------------------------------
+    # ingestion (called by Telemetry / the traffic engine)
+    # ------------------------------------------------------------------
+
+    def ingest(self, root, *, advance: bool) -> None:
+        """Fold one completed root span into the series.
+
+        ``advance`` mirrors :meth:`Telemetry.observe_query`: batch
+        recordings tile the clock, traffic recordings carry simulated
+        times.
+        """
+        shift = self.clock_ms - root.t0_ms if advance else 0.0
+        self.series.ingest(root, shift)
+        if advance:
+            self.clock_ms += root.dur_ms
+
+    def record_disk_event(self, t_ms: float, action: str, disk: int,
+                          live: int, total: int) -> None:
+        """Forwarded by the traffic engine on kill/revive."""
+        self.series.record_disk_event(t_ms, action, disk, live, total)
+
+    def reset(self) -> None:
+        self.series.reset()
+        self.clock_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def alerts(self) -> list:
+        """Every rule's alerts over the current series, in one
+        deterministic simulated-time order."""
+        out = []
+        for rule in self.rules:
+            out.extend(rule.evaluate(self.series))
+        out.sort(key=lambda a: (a.t_ms, a.rule, a.detail))
+        return out
+
+    def describe(self) -> dict:
+        """The gated ``meta["monitor"]`` payload (stable key set)."""
+        alerts = self.alerts()
+        merged = self.series.merged_latency()
+        return {
+            "window_ms": self.series.window_ms,
+            "n_windows": self.series.n_windows,
+            "windows": self.series.rows(),
+            "summary": {
+                "queries": merged.count,
+                "latency_ms": {
+                    k: round(v, 3)
+                    for k, v in merged.percentiles().items()
+                },
+            },
+            "rules": [rule.describe() for rule in self.rules],
+            "alerts": [a.to_dict() for a in alerts],
+            "health": self.health.evaluate(self.series, alerts),
+            "events": [
+                {"t_ms": round(t, 3), "action": action, "disk": disk,
+                 "live": live, "total": total}
+                for t, action, disk, live, total
+                in self.series.capacity_events
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Monitor(window_ms={self.series.window_ms}, "
+            f"windows={self.series.n_windows}, "
+            f"rules={len(self.rules)})"
+        )

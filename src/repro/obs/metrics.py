@@ -33,6 +33,12 @@ DEFAULT_BUCKETS_MS = (
 )
 
 
+def _q_label(q: float) -> str:
+    """``0.5 -> "p50"``, ``0.999 -> "p999"``, ``0.95 -> "p95"`` — the
+    dotless percentile keys the fixed summary always used."""
+    return "p" + f"{q * 100:g}".replace(".", "")
+
+
 class Histogram:
     """A fixed-bucket streaming histogram with interpolated quantiles.
 
@@ -99,14 +105,39 @@ class Histogram:
             return hi
         return lo + (hi - lo) * max(target - cum, 0.0) / c
 
-    def percentiles(self) -> dict:
-        """The standard latency summary (p50/p90/p99/p999)."""
-        return {
-            "p50": self.quantile(0.50),
-            "p90": self.quantile(0.90),
-            "p99": self.quantile(0.99),
-            "p999": self.quantile(0.999),
-        }
+    def fraction_le(self, value: float) -> float:
+        """Fraction of observations ``<= value`` — the CDF counterpart
+        of :meth:`quantile`, interpolated linearly within the matched
+        bucket (the overflow bucket interpolates between the last edge
+        and the observed max); 0.0 when empty.
+
+        It is monotone in ``value``, exact at bucket edges, and the
+        round trip ``fraction_le(quantile(q)) >= q`` holds — the
+        properties the SLO burn-rate rule relies on to count the
+        fraction of a window's queries over an objective.
+        """
+        value = float(value)
+        if self.count == 0:
+            return 0.0
+        cum = 0.0
+        lo = 0.0
+        for bound, c in zip(self.bounds, self.counts):
+            if value <= bound:
+                frac = (value - lo) / (bound - lo)
+                cum += c * min(max(frac, 0.0), 1.0)
+                return min(cum / self.count, 1.0)
+            cum += c
+            lo = bound
+        hi = max(self.max, lo)
+        frac = (value - lo) / (hi - lo) if hi > lo else 1.0
+        cum += self.overflow * min(max(frac, 0.0), 1.0)
+        return min(cum / self.count, 1.0)
+
+    def percentiles(self, qs=(0.50, 0.90, 0.99, 0.999)) -> dict:
+        """A quantile summary at arbitrary points ``qs`` (each in
+        [0, 1]), keyed ``p50``/``p95``/``p999``-style; the default is
+        the standard latency summary."""
+        return {_q_label(q): self.quantile(float(q)) for q in qs}
 
     def merge(self, other: "Histogram") -> "Histogram":
         """A new histogram observing both inputs' populations (bucket

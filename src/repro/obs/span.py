@@ -253,15 +253,18 @@ def record_traffic_query(telemetry, *, client: str, label: str,
                          index: int, n_cells: int, policy: str,
                          arrival_ms: float, start_ms: float,
                          done_ms: float, prepared, cache: dict,
-                         slices, events) -> None:
+                         slices, events, hits: dict | None = None,
+                         runs: dict | None = None) -> None:
     """Record one completed traffic query at simulated event times.
 
     ``cache`` maps each involved disk to its memory-service share (as
-    captured at submission, before the engine's billing zeroes it);
-    ``slices`` holds ``(disk, t0, BatchResult, is_write)`` per serviced
-    slice; ``events`` holds failover/drop instants from re-dispatch.
-    The root spans ``[arrival, completion)``, so queueing delay is the
-    gap between the root start and its first service child.
+    captured at submission, before the engine's billing zeroes it), and
+    ``hits``/``runs`` carry the matching per-disk hit/run counts when
+    the engine captured them; ``slices`` holds ``(disk, t0,
+    BatchResult, is_write)`` per serviced slice; ``events`` holds
+    failover/drop instants from re-dispatch.  The root spans
+    ``[arrival, completion)``, so queueing delay is the gap between the
+    root start and its first service child.
     """
     from repro.query.scatter import subplans
 
@@ -269,9 +272,14 @@ def record_traffic_query(telemetry, *, client: str, label: str,
     for disk in sorted(cache):
         share = cache[disk]
         if share > 0:
+            attrs = {"disk": int(disk)}
+            if hits is not None:
+                attrs["hits"] = int(hits.get(disk, 0))
+            if runs is not None:
+                attrs["runs"] = int(runs.get(disk, 0))
             children.append(Span(
                 f"cache d{disk}", "cache", arrival_ms, share,
-                attrs={"disk": int(disk)},
+                attrs=attrs,
             ))
     for disk, t0, res, is_write in slices:
         children.append(_service_span(

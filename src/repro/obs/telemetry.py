@@ -27,12 +27,13 @@ class Telemetry:
     """
 
     def __init__(self, *, trace: bool = True, metrics: bool = True,
-                 exporter: str | None = None):
-        if not trace and not metrics:
+                 exporter: str | None = None, monitor=None):
+        if not trace and not metrics and monitor is None:
             raise ObsError(
-                "a Telemetry needs at least one of trace=True or "
-                "metrics=True (Dataset.with_telemetry(trace=False, "
-                "metrics=False) detaches instead)"
+                "a Telemetry needs at least one of trace=True, "
+                "metrics=True, or an attached monitor "
+                "(Dataset.with_telemetry(trace=False, metrics=False) "
+                "detaches instead)"
             )
         if exporter is not None:
             # fail fast on typos, before any query runs
@@ -42,12 +43,17 @@ class Telemetry:
         self.tracer = Tracer() if trace else None
         self.metrics = MetricsRegistry() if metrics else None
         self.exporter = exporter
+        #: an attached :class:`repro.monitor.Monitor` (or None): every
+        #: completed root span is forwarded to it, so the windowed
+        #: time-series consumes exactly the values the tracer sees
+        self.monitor = monitor
 
     @property
     def active(self) -> bool:
         """Whether anything is attached (always true for a constructed
         instance; the check reads naturally at call sites)."""
-        return self.tracer is not None or self.metrics is not None
+        return (self.tracer is not None or self.metrics is not None
+                or self.monitor is not None)
 
     def observe_query(self, root: Span, *, advance: bool) -> None:
         """Record one completed query's span tree.
@@ -60,6 +66,8 @@ class Telemetry:
             self.tracer.record(root)
             if advance:
                 self.tracer.advance(root.dur_ms)
+        if self.monitor is not None:
+            self.monitor.ingest(root, advance=advance)
         if self.metrics is not None:
             if root.cat == "query":
                 self.metrics.inc("queries")
@@ -96,11 +104,14 @@ class Telemetry:
         return export_trace(self, name, path)
 
     def reset(self) -> None:
-        """Drop all recordings (tracer roots, clock, metric totals)."""
+        """Drop all recordings (tracer roots, clock, metric totals,
+        monitor windows)."""
         if self.tracer is not None:
             self.tracer.reset()
         if self.metrics is not None:
             self.metrics.reset()
+        if self.monitor is not None:
+            self.monitor.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = []
@@ -108,6 +119,8 @@ class Telemetry:
             parts.append(f"trace({self.tracer.n_queries} queries)")
         if self.metrics is not None:
             parts.append("metrics")
+        if self.monitor is not None:
+            parts.append("monitor")
         if self.exporter:
             parts.append(f"exporter={self.exporter!r}")
         return f"Telemetry({', '.join(parts)})"

@@ -342,7 +342,18 @@ class TrafficSim:
             tele = getattr(c.storage, "obs", None)
             if tele is not None:
                 # snapshot the cache shares BEFORE billing zeroes them
+                # (plus the per-disk hit/run counts behind them, which
+                # the monitor's cache-hit-ratio column consumes)
+                hits: dict[int, int] = {}
+                hit_runs: dict[int, int] = {}
+                for sub in subs:
+                    disk = sub.disk_index
+                    hits[disk] = hits.get(disk, 0) + sub.cache_hits
+                    hit_runs[disk] = (
+                        hit_runs.get(disk, 0) + sub.cache_runs
+                    )
                 qs.obs = {"tele": tele, "cache": dict(qs.disk_cache),
+                          "hits": hits, "runs": hit_runs,
                           "slices": [], "events": []}
             # a disk whose sub-plans all hit the cache is done after its
             # memory service alone (it never occupies the drive queue).
@@ -463,6 +474,8 @@ class TrafficSim:
                     cache=qs.obs["cache"],
                     slices=qs.obs["slices"],
                     events=qs.obs["events"],
+                    hits=qs.obs["hits"],
+                    runs=qs.obs["runs"],
                 )
             arrival = cs.client.arrival
             if arrival.closed and cs.issued < cs.client.n_queries:
@@ -525,6 +538,14 @@ class TrafficSim:
                 qs.obs["cache"][sub.disk_index] = (
                     qs.obs["cache"].get(sub.disk_index, 0.0)
                     + sub.cache_ms
+                )
+                qs.obs["hits"][sub.disk_index] = (
+                    qs.obs["hits"].get(sub.disk_index, 0)
+                    + sub.cache_hits
+                )
+                qs.obs["runs"][sub.disk_index] = (
+                    qs.obs["runs"].get(sub.disk_index, 0)
+                    + sub.cache_runs
                 )
             if job.sub is not None:
                 qs.abandoned.append(job.sub)
@@ -591,6 +612,26 @@ class TrafficSim:
                     f"client volume has that many member disks"
                 )
 
+        def notify_monitors(t: float, action: str, disk: int) -> None:
+            """Report one capacity event to every attached monitor
+            (after the storages applied it, so ``failed`` is current)."""
+            seen: list = []
+            for cs in states:
+                st = cs.client.storage
+                if disk >= st.volume.n_disks:
+                    continue
+                mon = getattr(getattr(st, "obs", None), "monitor", None)
+                if mon is None or any(mon is m for m in seen):
+                    continue
+                seen.append(mon)
+                total = st.volume.n_disks
+                failed = getattr(st, "failed", None)
+                n_failed = (len(failed) if failed is not None
+                            else 1 if action == "kill" else 0)
+                mon.record_disk_event(
+                    t, action, disk, total - n_failed, total
+                )
+
         def kill_member(disk: int, t: float) -> None:
             check_member(disk)
             # mark storages first, so failover re-prepares avoid the
@@ -620,6 +661,7 @@ class TrafficSim:
                 ds.current = None
                 for job in jobs:
                     redispatch(job, t, disk)
+            notify_monitors(t, "kill", disk)
 
         def revive_member(disk: int, t: float) -> None:
             check_member(disk)
@@ -635,6 +677,7 @@ class TrafficSim:
                     if ds is not None:
                         ds.failed = False
                         maybe_start(ds, t)
+            notify_monitors(t, "revive", disk)
 
         # -- schedule failures (before arrivals: a kill at t applies
         #    ahead of any same-t submission) --------------------------
@@ -795,12 +838,28 @@ class TrafficSim:
                 teles.append(tele)
         if teles:
             # gated on a Telemetry being attached, so detached runs
-            # keep their JSON layout bit-for-bit
-            meta.setdefault(
-                "obs",
-                teles[0].describe() if len(teles) == 1
-                else [x.describe() for x in teles],
-            )
+            # keep their JSON layout bit-for-bit (a monitor-only
+            # Telemetry describes to {} — its payload lives under
+            # "monitor" instead, so the empty "obs" block is skipped)
+            payloads = [p for p in (x.describe() for x in teles) if p]
+            if payloads:
+                meta.setdefault(
+                    "obs",
+                    payloads[0] if len(payloads) == 1 else payloads,
+                )
+            monitors = []
+            for tele in teles:
+                mon = getattr(tele, "monitor", None)
+                if mon is not None and not any(
+                    mon is m for m in monitors
+                ):
+                    monitors.append(mon)
+            if monitors:
+                meta.setdefault(
+                    "monitor",
+                    monitors[0].describe() if len(monitors) == 1
+                    else [m.describe() for m in monitors],
+                )
         if probing:
             # gated on the probes being enabled, so default runs keep
             # their JSON layout bit-for-bit

@@ -1,0 +1,1 @@
+"""Continuous monitoring (repro.monitor) test suite."""

@@ -1,0 +1,100 @@
+"""The health state machine over synthetic event timelines."""
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.monitor import (
+    HEALTH_STATES,
+    AlertEvent,
+    HealthTracker,
+    TimeSeries,
+)
+from repro.obs import Span
+
+
+def series(n_windows, window_ms=50.0):
+    """A series with activity through ``n_windows`` windows."""
+    ts = TimeSeries(window_ms)
+    dur = n_windows * window_ms
+    svc = Span("disk 0", "service", 0.0, 1.0, attrs={"disk": 0})
+    ts.ingest(Span("q", "query", 0.0, dur - 1e-9, children=(svc,)))
+    return ts
+
+
+def alert(rule, window, window_ms=50.0, severity="warn"):
+    return AlertEvent(t_ms=(window + 1) * window_ms, rule=rule,
+                      severity=severity, window=window, value=1.0,
+                      threshold=1.0, detail=rule)
+
+
+class TestValidation:
+    def test_states_are_the_documented_four(self):
+        assert HEALTH_STATES == (
+            "healthy", "degraded", "saturated", "recovering",
+        )
+
+    def test_recover_windows_must_be_positive(self):
+        with pytest.raises(MonitorError, match="recover_windows"):
+            HealthTracker(0)
+
+    def test_describe(self):
+        assert HealthTracker(3).describe() == {"recover_windows": 3}
+
+
+class TestTransitions:
+    def test_quiet_run_stays_healthy(self):
+        out = HealthTracker().evaluate(series(4), [])
+        assert out == {"state": "healthy", "transitions": []}
+
+    def test_kill_degrades(self):
+        ts = series(4)
+        ts.record_disk_event(60.0, "kill", 0, 1, 2)
+        out = HealthTracker().evaluate(ts, [])
+        assert out["state"] == "degraded"
+        (t,) = out["transitions"]
+        assert (t["t_ms"], t["from"], t["to"]) == (
+            60.0, "healthy", "degraded")
+        assert "disk 0 failed" in t["reason"]
+
+    def test_load_alert_while_degraded_saturates(self):
+        ts = series(6)
+        ts.record_disk_event(60.0, "kill", 0, 1, 2)
+        alerts = [alert("queue_saturation", 2)]
+        out = HealthTracker().evaluate(ts, alerts)
+        assert out["state"] == "saturated"
+        assert [t["to"] for t in out["transitions"]] == [
+            "degraded", "saturated"]
+
+    def test_load_alert_while_healthy_is_ignored(self):
+        ts = series(4)
+        out = HealthTracker().evaluate(ts, [alert("burn_rate", 1)])
+        assert out == {"state": "healthy", "transitions": []}
+
+    def test_revive_starts_probation_then_heals(self):
+        ts = series(8)
+        ts.record_disk_event(60.0, "kill", 0, 1, 2)
+        ts.record_disk_event(160.0, "revive", 0, 2, 2)
+        out = HealthTracker(recover_windows=2).evaluate(ts, [])
+        assert [t["to"] for t in out["transitions"]] == [
+            "degraded", "recovering", "healthy"]
+        # revive at 160 -> window 3's minimum is still degraded, so
+        # windows 4 and 5 are the two clean ones: healed at 300
+        assert out["transitions"][-1]["t_ms"] == pytest.approx(300.0)
+        assert out["state"] == "healthy"
+
+    def test_alerts_during_probation_delay_healing(self):
+        ts = series(8)
+        ts.record_disk_event(60.0, "kill", 0, 1, 2)
+        ts.record_disk_event(160.0, "revive", 0, 2, 2)
+        alerts = [alert("latency_threshold", 4)]
+        out = HealthTracker(recover_windows=2).evaluate(ts, alerts)
+        # the window-4 alert resets the clean streak: healed at 350
+        assert out["state"] == "healthy"
+        assert out["transitions"][-1]["t_ms"] == pytest.approx(350.0)
+
+    def test_short_run_ends_recovering(self):
+        ts = series(4)
+        ts.record_disk_event(60.0, "kill", 0, 1, 2)
+        ts.record_disk_event(160.0, "revive", 0, 2, 2)
+        out = HealthTracker(recover_windows=4).evaluate(ts, [])
+        assert out["state"] == "recovering"

@@ -1,0 +1,158 @@
+"""The SLO rule registry and the four builtin rules."""
+
+import pytest
+
+from repro.errors import MonitorError, RegistryError
+from repro.monitor import (
+    RULES,
+    AlertEvent,
+    BurnRateRule,
+    DegradedCapacityRule,
+    LatencyThresholdRule,
+    QueueSaturationRule,
+    TimeSeries,
+    resolve_rules,
+    rule_names,
+)
+from repro.obs import Span
+
+
+def series_with(durations, window_ms=50.0):
+    """One completed query per (t0, dur) pair, serviced on disk 0."""
+    ts = TimeSeries(window_ms)
+    for t0, dur in durations:
+        svc = Span("disk 0", "service", t0, dur,
+                   attrs={"disk": 0, "blocks": 4})
+        ts.ingest(Span("q", "query", t0, dur, children=(svc,)))
+    return ts
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert rule_names() == (
+            "burn_rate", "degraded_capacity", "latency_threshold",
+            "queue_saturation",
+        )
+
+    def test_docs_are_discoverable(self):
+        cls = RULES.get("burn_rate")
+        assert cls.name == "burn_rate"
+        assert cls.__doc__.startswith("Alert when")
+
+    def test_unknown_rule_names_valid_ones(self):
+        with pytest.raises(RegistryError, match="burn_rate"):
+            RULES.get("latency_threshol")
+
+
+class TestResolveRules:
+    def test_none_gives_every_builtin_at_defaults(self):
+        rules = resolve_rules(None)
+        assert [r.name for r in rules] == list(rule_names())
+
+    def test_mapping_passes_params(self):
+        rules = resolve_rules({"latency_threshold":
+                               {"threshold_ms": 10.0}})
+        assert len(rules) == 1
+        assert rules[0].threshold_ms == 10.0
+
+    def test_mapping_none_params_mean_defaults(self):
+        (rule,) = resolve_rules({"burn_rate": None})
+        assert rule.windows == 4
+
+    def test_iterable_of_names(self):
+        rules = resolve_rules(["degraded_capacity", "burn_rate"])
+        assert [r.name for r in rules] == ["degraded_capacity",
+                                           "burn_rate"]
+
+    def test_iterable_of_instances(self):
+        inst = LatencyThresholdRule(threshold_ms=1.0)
+        assert resolve_rules([inst]) == [inst]
+
+    def test_rejects_junk(self):
+        with pytest.raises(MonitorError, match="rules must be"):
+            resolve_rules([42])
+
+    def test_describe_is_json_friendly(self):
+        desc = BurnRateRule(windows=2).describe()
+        assert desc["rule"] == "burn_rate"
+        assert desc["params"]["windows"] == 2
+
+
+class TestLatencyThreshold:
+    def test_fires_per_offending_window(self):
+        ts = series_with([(0.0, 5.0), (60.0, 400.0)])
+        alerts = LatencyThresholdRule(threshold_ms=100.0).evaluate(ts)
+        assert len(alerts) == 1
+        (a,) = alerts
+        # the 400 ms query completes at 460 -> window 9, stamped at
+        # the window's end
+        assert a.window == 9
+        assert a.t_ms == pytest.approx(500.0)
+        assert a.value > 100.0
+        assert "p99" in a.detail
+
+    def test_quiet_series_is_silent(self):
+        ts = series_with([(0.0, 5.0), (60.0, 8.0)])
+        assert LatencyThresholdRule(threshold_ms=100.0).evaluate(ts) == []
+
+
+class TestBurnRate:
+    def test_fires_when_budget_burns(self):
+        # every query blows a 10 ms objective: slow fraction 1.0
+        # against a 0.25 budget = 4x burn
+        ts = series_with([(0.0, 40.0), (10.0, 45.0), (60.0, 40.0)])
+        alerts = BurnRateRule(objective_ms=10.0, budget=0.25,
+                              windows=2, factor=2.0).evaluate(ts)
+        assert alerts
+        assert all(a.value >= 2.0 for a in alerts)
+
+    def test_within_budget_is_silent(self):
+        ts = series_with([(0.0, 5.0), (10.0, 6.0)])
+        assert BurnRateRule(objective_ms=100.0).evaluate(ts) == []
+
+    def test_validation(self):
+        with pytest.raises(MonitorError, match="budget"):
+            BurnRateRule(budget=0.0)
+        with pytest.raises(MonitorError, match="window"):
+            BurnRateRule(windows=0)
+
+
+class TestQueueSaturation:
+    def test_fires_on_pegged_drive(self):
+        ts = series_with([(0.0, 50.0)])
+        alerts = QueueSaturationRule(utilization=0.9).evaluate(ts)
+        assert len(alerts) == 1
+        assert alerts[0].detail == "disk 0 at 100.0% busy"
+
+    def test_idle_drive_is_silent(self):
+        ts = series_with([(0.0, 10.0)])
+        assert QueueSaturationRule(utilization=0.9).evaluate(ts) == []
+
+    def test_validation(self):
+        with pytest.raises(MonitorError, match="utilization"):
+            QueueSaturationRule(utilization=1.5)
+
+
+class TestDegradedCapacity:
+    def test_fires_while_degraded(self):
+        ts = series_with([(0.0, 120.0)])
+        ts.record_disk_event(60.0, "kill", 0, 1, 2)
+        alerts = DegradedCapacityRule().evaluate(ts)
+        assert [a.window for a in alerts] == [1, 2]
+        assert all(a.value == 0.5 for a in alerts)
+
+    def test_full_capacity_is_silent(self):
+        ts = series_with([(0.0, 120.0)])
+        assert DegradedCapacityRule().evaluate(ts) == []
+
+
+class TestAlertEvent:
+    def test_to_dict_rounds_and_orders(self):
+        a = AlertEvent(t_ms=50.00004, rule="r", severity="warn",
+                       window=0, value=0.123456, threshold=1.0,
+                       detail="d")
+        d = a.to_dict()
+        assert d["t_ms"] == 50.0
+        assert d["value"] == 0.1235
+        assert list(d) == ["t_ms", "rule", "severity", "window",
+                           "value", "threshold", "detail"]

@@ -1,0 +1,165 @@
+"""The tumbling-window collector as a pure data structure."""
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.monitor import TimeSeries
+from repro.obs import Span
+
+
+def query(t0, dur, *children, name="q"):
+    return Span(name, "query", t0, dur, children=tuple(children))
+
+
+def service(t0, dur, disk, blocks=4):
+    return Span(f"disk {disk}", "service", t0, dur,
+                attrs={"disk": disk, "blocks": blocks})
+
+
+def flush(t0, dur, disk, blocks=4):
+    return Span(f"disk {disk}", "flush", t0, dur,
+                attrs={"disk": disk, "blocks": blocks})
+
+
+def cache(t0, dur, disk, hits=8):
+    return Span(f"cache d{disk}", "cache", t0, dur,
+                attrs={"disk": disk, "hits": hits})
+
+
+class TestValidation:
+    def test_window_must_be_positive(self):
+        for bad in (0.0, -5.0):
+            with pytest.raises(MonitorError, match="window_ms"):
+                TimeSeries(bad)
+
+    def test_bad_disk_event_action(self):
+        ts = TimeSeries(50.0)
+        with pytest.raises(MonitorError, match="kill"):
+            ts.record_disk_event(10.0, "explode", 0, 1, 2)
+
+
+class TestAttribution:
+    def test_query_counted_in_completion_window(self):
+        ts = TimeSeries(50.0)
+        # starts in window 0, completes in window 1
+        ts.ingest(query(40.0, 30.0, service(40.0, 30.0, 0)))
+        rows = ts.rows()
+        assert [r["queries"] for r in rows] == [0, 1]
+        assert rows[1]["p50_ms"] > 0.0
+
+    def test_busy_spreads_over_windows(self):
+        ts = TimeSeries(50.0)
+        # 100 ms of disk-0 service spanning windows 0 and 1 evenly
+        ts.ingest(query(25.0, 100.0, service(25.0, 100.0, 0)))
+        rows = ts.rows()
+        assert rows[0]["util"]["0"] == pytest.approx(0.5)
+        assert rows[1]["util"]["0"] == pytest.approx(1.0)
+        assert rows[2]["util"]["0"] == pytest.approx(0.5)
+
+    def test_inflight_is_time_averaged(self):
+        ts = TimeSeries(50.0)
+        ts.ingest(query(0.0, 25.0, service(0.0, 25.0, 0)))
+        ts.ingest(query(0.0, 50.0, service(0.0, 50.0, 0)))
+        assert ts.rows()[0]["inflight"] == pytest.approx(1.5)
+
+    def test_queue_depth_covers_arrival_to_last_slice(self):
+        ts = TimeSeries(50.0)
+        # arrives at 0 but disk 0 only services [40, 50): the queue
+        # interval is the whole [0, 50) wait+service span
+        ts.ingest(query(0.0, 50.0, service(40.0, 10.0, 0)))
+        row = ts.rows()[0]
+        assert row["queue"]["0"] == pytest.approx(1.0)
+        assert row["util"]["0"] == pytest.approx(0.2)
+
+    def test_cache_hits_vs_disk_blocks(self):
+        ts = TimeSeries(50.0)
+        ts.ingest(query(0.0, 10.0, cache(0.0, 1.0, 0, hits=6),
+                        service(1.0, 9.0, 0, blocks=2)))
+        assert ts.rows()[0]["cache_hit_ratio"] == pytest.approx(0.75)
+
+    def test_flush_blocks_feed_ingest_goodput(self):
+        ts = TimeSeries(50.0)
+        ts.ingest(query(0.0, 10.0, flush(0.0, 10.0, 1, blocks=100)))
+        row = ts.rows()[0]
+        assert row["ingest_blocks"] == 100
+        # 100 blocks * 512 B in a 50 ms window
+        assert row["ingest_mb_s"] == pytest.approx(
+            100 * 512 / 0.05 / 1e6, abs=1e-4
+        )
+        # flushes are drive work too
+        assert row["util"]["1"] == pytest.approx(0.2)
+
+    def test_shift_translates_batch_recordings(self):
+        ts = TimeSeries(50.0)
+        # a root recorded at t0=0 on the batch clock, shifted to 60
+        ts.ingest(query(0.0, 10.0, service(0.0, 10.0, 0)), shift=60.0)
+        rows = ts.rows()
+        assert [r["queries"] for r in rows] == [0, 1]
+
+    def test_window_boundary_is_half_open(self):
+        ts = TimeSeries(50.0)
+        # ends exactly at 50: completion window is 1 (index(50) == 1)
+        # but the busy interval [0, 50) must not touch window 1
+        ts.ingest(query(0.0, 50.0, service(0.0, 50.0, 0)))
+        rows = ts.rows()
+        assert rows[1]["queries"] == 1
+        assert "0" not in rows[1]["util"]
+
+    def test_reorg_fraction_is_gated(self):
+        ts = TimeSeries(50.0)
+        ts.ingest(query(0.0, 10.0, service(0.0, 10.0, 0)))
+        assert "reorg_frac" not in ts.rows()[0]
+        ts.ingest(Span("reorganize", "reorg", 10.0, 25.0))
+        row = ts.rows()[0]
+        assert row["reorg_frac"] == pytest.approx(0.5)
+        assert ts.reorgs == [(10.0, 35.0)]
+
+
+class TestCapacity:
+    def test_default_is_full_capacity(self):
+        ts = TimeSeries(50.0)
+        ts.ingest(query(0.0, 120.0, service(0.0, 120.0, 0)))
+        assert ts.capacity_series() == [1.0, 1.0, 1.0]
+
+    def test_kill_and_revive_step_function(self):
+        ts = TimeSeries(50.0)
+        ts.ingest(query(0.0, 250.0, service(0.0, 250.0, 0)))
+        ts.record_disk_event(60.0, "kill", 0, 3, 4)
+        ts.record_disk_event(160.0, "revive", 0, 4, 4)
+        # window 1 dips when the kill lands; window 3 sees the revive
+        # but its minimum is still the degraded level
+        assert ts.capacity_series() == [1.0, 0.75, 0.75, 0.75, 1.0, 1.0]
+
+    def test_event_past_last_query_materialises_window(self):
+        ts = TimeSeries(50.0)
+        ts.record_disk_event(220.0, "kill", 1, 1, 2)
+        assert ts.n_windows == 5
+        assert ts.capacity_series()[4] == 0.5
+
+
+class TestReads:
+    def test_rows_are_contiguous_and_stable(self):
+        ts = TimeSeries(50.0)
+        ts.ingest(query(120.0, 10.0, service(120.0, 10.0, 0)))
+        rows = ts.rows()
+        assert [r["w"] for r in rows] == [0, 1, 2]
+        assert rows[0]["t0_ms"] == 0.0
+        # empty windows keep the full key set
+        assert set(rows[0]) == set(rows[2])
+
+    def test_merged_latency_pools_all_windows(self):
+        ts = TimeSeries(50.0)
+        for t0, dur in ((0.0, 10.0), (60.0, 30.0), (120.0, 20.0)):
+            ts.ingest(query(t0, dur, service(t0, dur, 0)))
+        merged = ts.merged_latency()
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(60.0)
+
+    def test_reset_clears_everything(self):
+        ts = TimeSeries(50.0)
+        ts.ingest(query(0.0, 10.0, service(0.0, 10.0, 0)))
+        ts.record_disk_event(5.0, "kill", 0, 1, 2)
+        ts.reset()
+        assert ts.n_windows == 0
+        assert ts.rows() == []
+        assert ts.capacity_events == []

@@ -65,6 +65,18 @@ class TestTraceCommand:
         assert data["slowest"]
         assert data["utilization"]["busy"]
 
+    @pytest.mark.parametrize("top", ["0", "-3", "two"])
+    def test_rejects_non_positive_top(self, top, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(TRACE_QUICK + ["--top", top])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--top" in err
+
+    def test_top_one_is_accepted(self, capsys):
+        assert main(TRACE_QUICK + ["--top", "1"]) == 0
+        assert "slowest 1 queries" in capsys.readouterr().out
+
     def test_sharded_trace(self, capsys):
         assert main([
             "trace", "--shape", "24,12,12", "--clients", "2",

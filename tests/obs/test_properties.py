@@ -77,6 +77,72 @@ class TestHistogramProperties:
                             abs_tol=1e-9)
 
 
+class TestQuantileCdfProperties:
+    """The arbitrary-q quantile / CDF pair the SLO rules build on."""
+
+    @given(bounds, values,
+           st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_quantile_accepts_arbitrary_q(self, bs, vals, q):
+        h = fill(bs, vals)
+        v = h.quantile(q)
+        assert v >= 0.0
+        assert h.quantile(0.0) <= v * (1 + 1e-12) + 1e-12
+
+    @given(bounds, values,
+           st.floats(min_value=0.0, max_value=2e4, allow_nan=False),
+           st.floats(min_value=0.0, max_value=2e4, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_fraction_le_is_a_cdf(self, bs, vals, a, b):
+        h = fill(bs, vals)
+        fa, fb = h.fraction_le(a), h.fraction_le(b)
+        assert 0.0 <= fa <= 1.0 and 0.0 <= fb <= 1.0
+        if a <= b:
+            assert fa <= fb + 1e-12
+        else:
+            assert fb <= fa + 1e-12
+
+    @given(bounds, values)
+    @settings(max_examples=80, deadline=None)
+    def test_fraction_le_exact_at_bucket_edges(self, bs, vals):
+        h = fill(bs, vals)
+        if not h.count:
+            return
+        cum = 0
+        for bound, c in zip(h.bounds, h.counts):
+            cum += c
+            assert h.fraction_le(bound) == pytest.approx(
+                cum / h.count)
+
+    @given(bounds, values,
+           st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_recovers_q(self, bs, vals, q):
+        h = fill(bs, vals)
+        if not h.count:
+            return
+        assert h.fraction_le(h.quantile(q)) >= q - 1e-9
+
+    @given(st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+           st.integers(min_value=1, max_value=40),
+           st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_single_bucket_interpolates_linearly(self, b, n, q):
+        h = fill((b,), [b * 0.5] * n)
+        # all mass in (0, b]: the interpolated q-quantile is b*q
+        assert h.quantile(q) == pytest.approx(b * q)
+
+    @given(bounds, values)
+    @settings(max_examples=40, deadline=None)
+    def test_percentiles_labels_and_monotonicity(self, bs, vals):
+        h = fill(bs, vals)
+        summary = h.percentiles(qs=(0.10, 0.50, 0.90))
+        assert list(summary) == ["p10", "p50", "p90"]
+        got = list(summary.values())
+        assert got == sorted(got)
+        assert summary["p50"] == h.quantile(0.5)
+
+
 class TestSpanTreeProperties:
     @given(st.integers(min_value=0, max_value=2**31))
     @settings(max_examples=12, deadline=None,
