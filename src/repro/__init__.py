@@ -33,6 +33,8 @@ The layers underneath remain importable for direct use:
 ``repro.traffic``   concurrent multi-client traffic simulation
 ``repro.perf``      plan-prep fast path: memoization, probes, perf sweep
 ``repro.obs``       telemetry: span tracing, metrics, trace exporters
+``repro.monitor``   windowed SLO monitoring, health states, run diffing
+``repro.explain``   EXPLAIN/ANALYZE plan diagnosis, regression attribution
 ``repro.datasets``  the paper's three evaluation datasets
 ``repro.analytic``  the expected-cost model
 ``repro.bench``     one regenerator per paper figure
@@ -42,7 +44,7 @@ All façade attributes load lazily (PEP 562): ``import repro`` stays cheap.
 
 from __future__ import annotations
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 #: single source of truth for the lazy public surface: name -> module
 _LAZY_EXPORTS = {
@@ -96,6 +98,10 @@ _LAZY_EXPORTS = {
     "EXPORTERS": "repro.obs",
     "exporter_names": "repro.obs",
     "register_exporter": "repro.obs",
+    "COST_CLASSES": "repro.explain",
+    "attribute_runs": "repro.explain",
+    "explain_query": "repro.explain",
+    "analyze_query": "repro.explain",
 }
 
 __all__ = sorted([*_LAZY_EXPORTS, "__version__"])

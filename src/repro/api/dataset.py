@@ -933,6 +933,32 @@ class Dataset:
             batch.add(queries)
         return batch.run(rng=rng, repeats=repeats)
 
+    def explain(self, query, *, analyze: bool = False) -> dict:
+        """EXPLAIN (and optionally ANALYZE) one query on this dataset.
+
+        EXPLAIN is static and side-effect-free: the plan is prepared
+        against ghost state (live drives, cache policy/stats, replica
+        routing counters, and perf probes are all left untouched) and
+        its run structure, access-pattern classification, predicted
+        mechanical cost, expected cache hits, shard fan-out, and
+        replica routing are returned as a JSON-friendly dict.  With
+        ``analyze=True`` the query is then executed once for real —
+        drives move and the cache warms, as a normal ``run()`` would —
+        under a private trace, adding ``measured`` and
+        ``reconciliation`` (the predicted-vs-measured model-error
+        report).  See :mod:`repro.explain`.
+        """
+        from repro.explain import analyze_query, explain_query
+
+        data = explain_query(self, query)
+        if analyze:
+            measured, reconciliation = analyze_query(
+                self, query, data["predicted"]
+            )
+            data["measured"] = measured
+            data["reconciliation"] = reconciliation
+        return data
+
     # ------------------------------------------------------------------
     # updates (§4.6) — CellStore behind the same object
     # ------------------------------------------------------------------

@@ -1,7 +1,7 @@
 """Command-line entry point: ``python -m repro.bench`` / ``repro-bench``
 (also installed as ``multimap-bench``).
 
-Ten modes: the default regenerates paper figures, the ``traffic``
+Eleven modes: the default regenerates paper figures, the ``traffic``
 subcommand runs the multi-client traffic storm
 (:func:`repro.traffic.storm.run_storm`), the ``cache`` subcommand
 sweeps buffer-pool capacities per layout
@@ -22,10 +22,15 @@ queries, phase totals, and a per-disk utilisation timeline (with
 ``--export`` it writes the span trace through a registered exporter).
 The ``dashboard`` subcommand runs a monitored storm
 (:func:`repro.monitor.dashboard.run_dashboard`) and renders the
-windowed time-series, SLO alerts, and health timeline, and the
-``diff`` subcommand compares two exported run reports
-(:func:`repro.monitor.diff.diff_runs`), exiting 1 when a metric moved
-beyond the tolerance band.
+windowed time-series, SLO alerts, and health timeline, the
+``explain`` subcommand inspects a query's prepared plan and predicted
+mechanical cost per layout (:func:`repro.explain.run_explain`) — with
+``--analyze`` it executes once and reconciles prediction against
+measurement, with ``--model`` it prints the analytic model's predicted
+speedups — and the ``diff`` subcommand compares two exported run
+reports (:func:`repro.monitor.diff.diff_runs`), exiting 1 when a
+metric moved beyond the tolerance band (``--attribute`` ranks the
+suspects behind the regression).
 The ``--list-*`` flags (one per registry, all driven by the
 ``_LISTINGS`` table below) print the registered names with
 descriptions and exit, so users can discover what every registry holds
@@ -56,6 +61,10 @@ Examples::
     repro-bench dashboard --shape 32,12,12 --shards 2 --k 2 \\
         --kill-at 40 --revive-at 160 --json run_a.json
     repro-bench diff run_a.json run_b.json --tolerance 0.05
+    repro-bench --list-costs
+    repro-bench explain --shape 240,12,12 --layouts multimap,zorder
+    repro-bench explain --axis 1 --analyze --model --json explain.json
+    repro-bench diff run_a.json run_b.json --attribute
 """
 
 from __future__ import annotations
@@ -323,6 +332,9 @@ _LISTINGS = (
      "print registered trace exporters and exit"),
     ("list_rules", "SLO rules", "repro.monitor", "RULES",
      "print registered SLO monitoring rules and exit"),
+    ("list_costs", "dominant-cost classes", "repro.explain",
+     "COST_CLASSES",
+     "print the dominant-cost classifier's classes and exit"),
 )
 
 
@@ -800,14 +812,115 @@ def _add_dashboard_parser(subparsers) -> None:
     p.set_defaults(func=_dashboard_main)
 
 
+def _parse_box(spec: str):
+    """``lo,lo,..:hi,hi,..`` -> (lo tuple, hi tuple)."""
+    try:
+        lo_s, hi_s = spec.split(":")
+        lo = tuple(int(v) for v in lo_s.split(","))
+        hi = tuple(int(v) for v in hi_s.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"box must look like lo,lo:hi,hi — got {spec!r}"
+        ) from None
+    return lo, hi
+
+
+def _explain_main(args) -> int:
+    from repro.explain import render_explain, run_explain
+
+    data = run_explain(
+        _csv_ints(args.shape),
+        layouts=_csv_strs(args.layouts),
+        drive=args.drive,
+        axis=args.axis,
+        fixed=_csv_ints(args.fixed) if args.fixed else None,
+        box=args.box,
+        shards=args.shards,
+        k=args.k,
+        cache_blocks=args.cache_blocks,
+        cache_policy=args.cache_policy,
+        prefetch=args.prefetch,
+        seed=args.seed,
+        analyze=args.analyze,
+        model=args.model,
+    )
+    if not args.quiet:
+        print(render_explain(data))
+    if args.json:
+        _write_json_report(args.json, data, "explain.json", args.quiet)
+    return 0
+
+
+def _add_explain_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "explain",
+        help="inspect a query's plan and predicted cost (EXPLAIN), "
+        "optionally execute and reconcile (ANALYZE)",
+        description="EXPLAIN one beam or range query per layout: the "
+        "prepared plan's run structure and access-pattern "
+        "classification, the predicted mechanical cost from the drive "
+        "model, expected cache hits, shard fan-out, and replica "
+        "routing — with zero side effects on the dataset.  With "
+        "--analyze the query is then executed once under a private "
+        "trace and the prediction is reconciled against measurement "
+        "per phase and per disk.  --model prints the analytic model's "
+        "predicted beam/range speedups.",
+    )
+    p.add_argument("--shape", default="240,12,12",
+                   help="dataset dimensions, comma separated")
+    p.add_argument("--layouts", default="multimap",
+                   help="comma-separated layouts to explain")
+    p.add_argument("--drive", default="minidrive",
+                   help="drive model (see --list-drives)")
+    p.add_argument("--axis", type=int, default=None,
+                   help="beam axis (default 0)")
+    p.add_argument("--fixed", default=None,
+                   help="beam's pinned coordinates, comma separated "
+                   "(default: centre of each other dimension)")
+    p.add_argument("--box", type=_parse_box, default=None,
+                   help="range query instead of a beam: lo,lo,..:hi,hi,..")
+    p.add_argument("--shards", type=_positive_int, default=None,
+                   help="shard the dataset over this many disks")
+    p.add_argument("--k", type=_positive_int, default=None,
+                   help="replication factor (needs --shards)")
+    p.add_argument("--cache-blocks", type=int, default=0,
+                   help="attach a buffer pool of this many blocks")
+    p.add_argument("--cache-policy", default="lru",
+                   help="pool eviction policy (see --list-policies)")
+    p.add_argument("--prefetch", default="none",
+                   help="pool prefetcher (see --list-prefetchers)")
+    p.add_argument("--seed", type=int, default=42, help="base seed")
+    p.add_argument("--analyze", action="store_true",
+                   help="execute the query once and reconcile "
+                   "predicted vs measured cost")
+    p.add_argument("--model", action="store_true",
+                   help="print the analytic model's predicted "
+                   "beam/range speedups")
+    p.add_argument("--json", default=None,
+                   help="JSON output file (or directory)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress plan-tree output")
+    p.set_defaults(func=_explain_main)
+
+
 def _diff_main(args) -> int:
     from repro.monitor.diff import diff_runs, render_diff
 
     base = json.loads(Path(args.base).read_text())
     cur = json.loads(Path(args.current).read_text())
     data = diff_runs(base, cur, tolerance=args.tolerance)
+    if getattr(args, "attribute", False):
+        from repro.explain import attribute_runs
+
+        data["attribution"] = attribute_runs(
+            base, cur, tolerance=args.tolerance
+        )
     if not args.quiet:
         print(render_diff(data))
+        if "attribution" in data:
+            from repro.explain import render_attribution
+
+            print(render_attribution(data["attribution"]))
     if args.json:
         _write_json_report(args.json, data, "diff.json", args.quiet)
     return 1 if data["regressions"] else 0
@@ -829,6 +942,9 @@ def _add_diff_parser(subparsers) -> None:
     p.add_argument("--tolerance", type=float, default=0.1,
                    help="relative band a metric may move before it "
                    "flags (default 0.1)")
+    p.add_argument("--attribute", action="store_true",
+                   help="rank the suspects behind the regression "
+                   "(phases, disks, queries, monitor signals)")
     p.add_argument("--json", default=None,
                    help="JSON output file (or directory) for the diff")
     p.add_argument("--quiet", action="store_true",
@@ -874,6 +990,7 @@ def main(argv=None) -> int:
     _add_perf_parser(subparsers)
     _add_trace_parser(subparsers)
     _add_dashboard_parser(subparsers)
+    _add_explain_parser(subparsers)
     _add_diff_parser(subparsers)
     args = parser.parse_args(argv)
     listed = _list_registries(args)

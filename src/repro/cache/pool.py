@@ -246,6 +246,38 @@ class BufferPool:
         hit_runs = transitions + int(hit_mask[0])
         return miss, n_hits, hit_runs
 
+    def peek_plan(self, disk: int, plan: RequestPlan) -> tuple[int, int]:
+        """The ``(hit_blocks, hit_runs)`` that :meth:`filter_plan`
+        would report for ``plan`` — without serving it: no recency
+        refresh, no prefetch accounting, no stats.  The EXPLAIN layer's
+        probe for expected cache hits against the live pool.
+        """
+        if not self.active or plan.n_runs == 0:
+            return 0, 0
+        lbns = expand_plan(plan)
+        d = int(disk)
+        resident = self._resident.get(d)
+        if not resident:
+            return 0, 0
+        if lbns.size * 8 < len(resident):
+            hit_mask = np.fromiter(
+                (lbn in resident for lbn in lbns.tolist()),
+                dtype=bool, count=lbns.size,
+            )
+        else:
+            arr = self._resident_arr.get(d)
+            if arr is None:
+                arr = np.fromiter(resident, dtype=np.int64,
+                                  count=len(resident))
+                self._resident_arr[d] = arr
+            hit_mask = np.isin(lbns, arr)
+        n_hits = int(hit_mask.sum())
+        if n_hits == 0:
+            return 0, 0
+        transitions = int(np.count_nonzero(np.diff(hit_mask.astype(np.int8))
+                                           == 1))
+        return n_hits, transitions + int(hit_mask[0])
+
     # ------------------------------------------------------------------
     # admission (called after the drive serviced the miss plan)
     # ------------------------------------------------------------------

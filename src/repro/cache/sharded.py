@@ -79,6 +79,9 @@ class ShardedBufferPool:
     def filter_plan(self, disk: int, plan):
         return self._pool(disk).filter_plan(disk, plan)
 
+    def peek_plan(self, disk: int, plan) -> tuple[int, int]:
+        return self._pool(disk).peek_plan(disk, plan)
+
     def admit_plan(self, volume, disk: int, plan) -> None:
         self._pool(disk).admit_plan(volume, disk, plan)
 

@@ -75,3 +75,9 @@ class MonitorError(ReproError):
     """Raised by :mod:`repro.monitor` for invalid monitoring
     configuration (bad window size, unknown SLO rule, malformed run
     summaries handed to the differ)."""
+
+
+class ExplainError(ReproError):
+    """Raised by :mod:`repro.explain` for invalid diagnosis requests
+    (unexplainable query types, mismatched stride arrays, malformed
+    reports handed to the attributor)."""

@@ -1,0 +1,50 @@
+"""repro.explain — plan inspection and root-cause diagnosis.
+
+The observe→explain layer: **EXPLAIN** inspects a query's prepared plan
+with zero side effects (run structure, the paper's access-pattern
+taxonomy, predicted mechanical cost from a ghost drive, expected cache
+hits, shard fan-out, replica routing, and the §4 analytic model's
+prediction); **ANALYZE** executes the same query under a private trace
+and reconciles prediction against measurement into a model-error report
+and a dominant-cost classification; and :func:`attribute_runs` ranks
+the suspects behind a ``repro-bench diff`` regression.  Everything here
+is read-only over the other layers and fully gated — attaching nothing
+changes no default output.
+"""
+
+from repro.explain.analyze import analyze_query, measured_from_root, reconcile
+from repro.explain.attribute import attribute_runs, render_attribution
+from repro.explain.classify import (
+    COST_CLASSES,
+    CostClass,
+    classify_cost,
+    classify_runs,
+    classify_strides,
+    run_length_histogram,
+)
+from repro.explain.explain_cmd import model_block, render_explain, run_explain
+from repro.explain.plan import (
+    explain_query,
+    predict_mechanics,
+    prepare_readonly,
+)
+
+__all__ = [
+    "COST_CLASSES",
+    "CostClass",
+    "analyze_query",
+    "attribute_runs",
+    "classify_cost",
+    "classify_runs",
+    "classify_strides",
+    "explain_query",
+    "measured_from_root",
+    "model_block",
+    "predict_mechanics",
+    "prepare_readonly",
+    "reconcile",
+    "render_attribution",
+    "render_explain",
+    "run_explain",
+    "run_length_histogram",
+]

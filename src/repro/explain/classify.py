@@ -1,0 +1,200 @@
+"""Access-pattern and dominant-cost classification for EXPLAIN/ANALYZE.
+
+Two classifiers live here.  :func:`classify_strides` labels every
+run-to-run transition of a request plan with the paper's access
+taxonomy (§3): *sequential* (next LBN), *semi-sequential* (a settle-only
+adjacency hop — the stride lands exactly where ``get_adjacent`` would
+put an adjacent block ``j`` tracks away), or *random* (anything else).
+:func:`classify_cost` folds a query's mechanical time split
+(seek/rotation/transfer/head-switch plus queueing and cache service)
+into one of five documented dominant-cost classes, registered in
+:data:`COST_CLASSES` so ``repro-bench --list-costs`` can print them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExplainError
+from repro.registry import Registry
+
+__all__ = [
+    "COST_CLASSES",
+    "CostClass",
+    "RANDOM",
+    "SEMI_SEQUENTIAL",
+    "SEQUENTIAL",
+    "classify_cost",
+    "classify_runs",
+    "classify_strides",
+    "run_length_histogram",
+]
+
+SEQUENTIAL = "sequential"
+SEMI_SEQUENTIAL = "semi_sequential"
+RANDOM = "random"
+
+#: stride-class codes returned by :func:`classify_strides`
+_CODES = (SEQUENTIAL, SEMI_SEQUENTIAL, RANDOM)
+
+
+@dataclass(frozen=True)
+class CostClass:
+    """One entry of the dominant-cost taxonomy (`--list-costs`)."""
+
+    name: str
+    description: str
+
+
+COST_CLASSES = Registry("cost class")
+for _cc in (
+    CostClass(
+        "seek_bound",
+        "per-request head repositioning (seek/settle plus the rotational "
+        "latency each reposition incurs) dominates — scattered access",
+    ),
+    CostClass(
+        "rotation_bound",
+        "rotational waits with a near-stationary head dominate — "
+        "same-track strides paying missed revolutions, not seeks",
+    ),
+    CostClass(
+        "transfer_bound",
+        "media transfer and head switches dominate positioning — the "
+        "streaming regime multimap targets for the primary dimension",
+    ),
+    CostClass(
+        "queue_bound",
+        "time waiting in per-drive queues exceeds mechanical service — "
+        "concurrency, not layout, is the bottleneck",
+    ),
+    CostClass(
+        "cache_miss_bound",
+        "a buffer pool is attached but absorbs under half the accesses "
+        "while the drives still do most of the work",
+    ),
+):
+    COST_CLASSES.add(_cc.name, _cc)
+
+
+def classify_strides(volume, disk: int, prev_lbns, next_lbns) -> np.ndarray:
+    """Label each transition ``prev_lbns[i] -> next_lbns[i]`` with a
+    stride-class code (0 sequential, 1 semi-sequential, 2 random).
+
+    A transition is *semi-sequential* when the forward stride equals the
+    adjacency model's start-to-start distance for some hop depth
+    ``j in [1, D]`` within the same zone — i.e. the next block sits
+    exactly where :meth:`AdjacencyModel.get_adjacent` would place the
+    ``j``-th adjacent block of the previous one.
+    """
+    prev_lbns = np.asarray(prev_lbns, dtype=np.int64)
+    next_lbns = np.asarray(next_lbns, dtype=np.int64)
+    if prev_lbns.shape != next_lbns.shape:
+        raise ExplainError("stride endpoints must have matching shapes")
+    n = prev_lbns.size
+    codes = np.full(n, 2, dtype=np.int8)
+    if n == 0:
+        return codes
+    geom = volume.models[disk].geometry
+    adj = volume.adjacency[disk]
+    d = next_lbns - prev_lbns
+    codes[d == 1] = 0
+    zi_p, _, sector, spt, _ = geom.decompose(prev_lbns)
+    zi_n = geom.decompose(next_lbns)[0]
+    offsets = np.asarray(
+        [adj.adjacency_offset_sectors(i) for i in range(len(geom.zones))],
+        dtype=np.int64,
+    )
+    skews = np.asarray(
+        [z.skew_sectors for z in geom.zones], dtype=np.int64
+    )
+    a = offsets[zi_p]
+    w = skews[zi_p]
+    semi = np.zeros(n, dtype=bool)
+    same_zone = zi_p == zi_n
+    for j in (d // spt, d // spt + 1):
+        valid = same_zone & (j >= 1) & (j <= adj.D)
+        target = (sector + a - j * w) % spt
+        expected = j * spt + (target - sector)
+        semi |= valid & (d == expected)
+    codes[semi & (codes != 0)] = 1
+    return codes
+
+
+def classify_runs(volume, disk: int, plan) -> dict:
+    """Classify one prepared :class:`RequestPlan` on ``disk``.
+
+    Every intra-run block step is sequential by construction; every
+    run-to-run gap is classified by :func:`classify_strides`.  Returns
+    the step counts per class plus the majority ``pattern`` (ties break
+    toward the cheaper class; a plan with no steps is ``"single"``).
+    """
+    starts = np.asarray(plan.starts, dtype=np.int64)
+    lengths = np.asarray(plan.lengths, dtype=np.int64)
+    intra = int((lengths - 1).sum()) if lengths.size else 0
+    counts = {SEQUENTIAL: intra, SEMI_SEQUENTIAL: 0, RANDOM: 0}
+    if starts.size >= 2:
+        codes = classify_strides(
+            volume, disk, starts[:-1] + lengths[:-1] - 1, starts[1:]
+        )
+        for code, name in enumerate(_CODES):
+            counts[name] += int((codes == code).sum())
+    total = sum(counts.values())
+    if total == 0:
+        pattern = "single"
+    else:
+        pattern = max(_CODES, key=lambda name: (counts[name], -_CODES.index(name)))
+    return {
+        "runs": int(plan.n_runs),
+        "blocks": int(plan.n_blocks),
+        "steps": counts,
+        "pattern": pattern,
+    }
+
+
+def run_length_histogram(plan) -> dict:
+    """Run lengths (in blocks) -> run count, keys as strings for JSON."""
+    lengths = np.asarray(plan.lengths, dtype=np.int64)
+    if lengths.size == 0:
+        return {}
+    values, counts = np.unique(lengths, return_counts=True)
+    return {str(int(v)): int(c) for v, c in zip(values, counts)}
+
+
+def classify_cost(
+    *,
+    seek_ms: float,
+    rotation_ms: float,
+    transfer_ms: float,
+    switch_ms: float = 0.0,
+    queue_ms: float = 0.0,
+    cache_ms: float = 0.0,
+    hit_ratio: float | None = None,
+) -> str:
+    """Name the dominant cost of a query's time split.
+
+    Precedence: queueing beats mechanics beats cache.  Within the
+    mechanical split, transfer+switch vs positioning decides streaming
+    vs positioning-bound; a positioning-bound query is *seek-bound*
+    whenever seeks contribute materially (each reposition drags its
+    rotational latency along, so the latency is attendant on the seek),
+    and *rotation-bound* only when the head barely moves and the waits
+    are purely rotational.
+    """
+    seek_ms = max(float(seek_ms), 0.0)
+    rotation_ms = max(float(rotation_ms), 0.0)
+    transfer_ms = max(float(transfer_ms), 0.0)
+    switch_ms = max(float(switch_ms), 0.0)
+    mechanical = seek_ms + rotation_ms + transfer_ms + switch_ms
+    if queue_ms > mechanical + cache_ms:
+        return "queue_bound"
+    if hit_ratio is not None and hit_ratio < 0.5 and mechanical > cache_ms:
+        return "cache_miss_bound"
+    positioning = seek_ms + rotation_ms
+    if transfer_ms + switch_ms >= positioning:
+        return "transfer_bound"
+    if seek_ms >= 0.05 * positioning:
+        return "seek_bound"
+    return "rotation_bound"

@@ -1,0 +1,147 @@
+"""The access-pattern and dominant-cost classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExplainError
+from repro.explain.classify import (
+    COST_CLASSES,
+    classify_cost,
+    classify_runs,
+    classify_strides,
+    run_length_histogram,
+)
+from repro.lvm import LogicalVolume
+from repro.mappings.base import RequestPlan
+
+
+@pytest.fixture()
+def volume(small_model):
+    return LogicalVolume([small_model])
+
+
+class TestClassifyStrides:
+    def test_unit_stride_is_sequential(self, volume):
+        prev = np.arange(0, 10, dtype=np.int64)
+        codes = classify_strides(volume, 0, prev, prev + 1)
+        assert (codes == 0).all()
+
+    def test_adjacency_hop_is_semi_sequential(self, volume):
+        """The exact LBN ``get_adjacent`` returns, for every depth."""
+        adj = volume.adjacency[0]
+        lbn = 5
+        prev = np.array([lbn] * adj.D, dtype=np.int64)
+        nxt = np.array(
+            [adj.get_adjacent(lbn, step) for step in range(1, adj.D + 1)],
+            dtype=np.int64,
+        )
+        codes = classify_strides(volume, 0, prev, nxt)
+        assert (codes == 1).all()
+
+    def test_arbitrary_jump_is_random(self, volume):
+        spt = volume.models[0].geometry.zones[0].sectors_per_track
+        prev = np.array([0, 0, 100], dtype=np.int64)
+        # half a track ahead, far away, and backwards: none adjacent
+        nxt = np.array([spt // 2, 40 * spt + 3, 7], dtype=np.int64)
+        codes = classify_strides(volume, 0, prev, nxt)
+        assert (codes == 2).all()
+
+    def test_mismatched_shapes_raise(self, volume):
+        with pytest.raises(ExplainError):
+            classify_strides(volume, 0, np.arange(3), np.arange(4))
+
+    def test_empty_is_empty(self, volume):
+        codes = classify_strides(
+            volume, 0, np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+        )
+        assert codes.size == 0
+
+
+class TestClassifyRuns:
+    def test_single_run_is_streaming(self, volume):
+        plan = RequestPlan(np.array([0]), np.array([50]))
+        out = classify_runs(volume, 0, plan)
+        assert out["pattern"] == "sequential"
+        assert out["steps"] == {
+            "sequential": 49, "semi_sequential": 0, "random": 0,
+        }
+
+    def test_one_block_is_single(self, volume):
+        plan = RequestPlan(np.array([3]), np.array([1]))
+        assert classify_runs(volume, 0, plan)["pattern"] == "single"
+
+    def test_adjacent_runs_are_semi_sequential(self, volume):
+        """One-block runs hopping along the adjacency path."""
+        adj = volume.adjacency[0]
+        path = [10]
+        for _ in range(6):
+            path.append(adj.get_adjacent(path[-1], 1))
+        plan = RequestPlan(
+            np.array(path, dtype=np.int64),
+            np.ones(len(path), dtype=np.int64),
+            policy="fifo",
+        )
+        out = classify_runs(volume, 0, plan)
+        assert out["pattern"] == "semi_sequential"
+        assert out["steps"]["semi_sequential"] == len(path) - 1
+
+    def test_counts_sum_to_total_steps(self, volume):
+        plan = RequestPlan(
+            np.array([0, 500, 1000]), np.array([10, 1, 5])
+        )
+        out = classify_runs(volume, 0, plan)
+        assert sum(out["steps"].values()) == plan.n_blocks - 1
+
+
+class TestRunLengthHistogram:
+    def test_counts(self):
+        plan = RequestPlan(
+            np.array([0, 100, 200, 300]), np.array([2, 2, 7, 2])
+        )
+        assert run_length_histogram(plan) == {"2": 3, "7": 1}
+
+    def test_empty_plan(self):
+        plan = RequestPlan(np.array([], dtype=np.int64),
+                           np.array([], dtype=np.int64))
+        assert run_length_histogram(plan) == {}
+
+
+class TestClassifyCost:
+    def test_registry_has_five_documented_classes(self):
+        assert len(COST_CLASSES) == 5
+        for name in COST_CLASSES.names():
+            assert COST_CLASSES.get(name).description
+
+    def test_transfer_bound(self):
+        name = classify_cost(seek_ms=1, rotation_ms=2, transfer_ms=5)
+        assert name == "transfer_bound"
+
+    def test_seek_bound_includes_attendant_latency(self):
+        """Scattered access: rotation exceeds seek, but each wait is
+        attendant on a reposition — classified seek-bound."""
+        name = classify_cost(seek_ms=40, rotation_ms=150, transfer_ms=10)
+        assert name == "seek_bound"
+
+    def test_rotation_bound_when_head_stationary(self):
+        name = classify_cost(seek_ms=0.1, rotation_ms=100, transfer_ms=2)
+        assert name == "rotation_bound"
+
+    def test_queue_bound_beats_mechanics(self):
+        name = classify_cost(seek_ms=5, rotation_ms=5, transfer_ms=5,
+                             queue_ms=100)
+        assert name == "queue_bound"
+
+    def test_cache_miss_bound(self):
+        name = classify_cost(seek_ms=5, rotation_ms=5, transfer_ms=5,
+                             cache_ms=1, hit_ratio=0.1)
+        assert name == "cache_miss_bound"
+
+    def test_absorbing_cache_does_not_flag(self):
+        name = classify_cost(seek_ms=1, rotation_ms=1, transfer_ms=5,
+                             cache_ms=1, hit_ratio=0.9)
+        assert name == "transfer_bound"
+
+    def test_every_result_is_registered(self):
+        name = classify_cost(seek_ms=3, rotation_ms=1, transfer_ms=1)
+        assert name in COST_CLASSES

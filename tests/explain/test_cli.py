@@ -1,0 +1,92 @@
+"""The ``explain`` bench subcommand and ``diff --attribute``."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+
+QUICK = ["explain", "--shape", "48,12,12", "--drive", "minidrive"]
+
+
+class TestExplainCommand:
+    def test_renders_plan_tree(self, capsys):
+        assert main(QUICK) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN" in out
+        assert "multimap" in out
+        assert "pattern" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        dest = tmp_path / "explain.json"
+        assert main(QUICK + ["--json", str(dest), "--quiet"]) == 0
+        data = json.loads(dest.read_text())
+        layout = data["layouts"]["multimap"]
+        assert layout["plan"]["blocks"] > 0
+        assert layout["predicted"]["dominant_cost"]
+        assert capsys.readouterr().out == ""
+
+    def test_two_layouts_and_analyze(self, capsys):
+        assert main(["explain", "--shape", "240,12,12",
+                     "--drive", "minidrive",
+                     "--layouts", "multimap,zorder",
+                     "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "ANALYZE" in out
+        assert "zorder" in out
+        assert "seek_bound" in out
+        assert "transfer_bound" in out
+
+    def test_model_table(self, capsys):
+        assert main(QUICK + ["--model", "--axis", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic model" in out
+
+    def test_box_query(self, capsys):
+        assert main(QUICK + ["--box", "0,0,0:6,6,6"]) == 0
+        out = capsys.readouterr().out
+        assert "range" in out
+
+    def test_bad_box_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(QUICK + ["--box", "nonsense"])
+        assert exc.value.code == 2
+
+    def test_list_costs(self, capsys):
+        assert main(["--list-costs"]) == 0
+        out = capsys.readouterr().out
+        assert "seek_bound" in out
+        assert "queue_bound" in out
+
+
+class TestDiffAttribute:
+    def _export(self, tmp_path, name, seed):
+        dest = tmp_path / name
+        argv = ["trace", "--shape", "24,12,12", "--drive", "minidrive",
+                "--clients", "2", "--queries", "3",
+                "--seed", str(seed), "--json", str(dest), "--quiet"]
+        assert main(argv) == 0
+        return str(dest)
+
+    def test_same_seed_runs_have_no_suspects(self, tmp_path, capsys):
+        base = self._export(tmp_path, "base.json", 7)
+        cur = self._export(tmp_path, "cur.json", 7)
+        assert main(["diff", base, cur, "--attribute"]) == 0
+        assert "no suspects" in capsys.readouterr().out
+
+    def test_attribution_lands_in_json(self, tmp_path):
+        base = self._export(tmp_path, "base.json", 7)
+        cur = self._export(tmp_path, "cur.json", 7)
+        dest = tmp_path / "diff.json"
+        assert main(["diff", base, cur, "--attribute",
+                     "--json", str(dest), "--quiet"]) == 0
+        data = json.loads(dest.read_text())
+        assert data["attribution"]["suspects"] == []
+
+    def test_without_flag_no_attribution(self, tmp_path):
+        base = self._export(tmp_path, "base.json", 7)
+        cur = self._export(tmp_path, "cur.json", 7)
+        dest = tmp_path / "diff.json"
+        assert main(["diff", base, cur,
+                     "--json", str(dest), "--quiet"]) == 0
+        assert "attribution" not in json.loads(dest.read_text())

@@ -1,9 +1,10 @@
 """Default bench runs never leak observability keys into their JSON.
 
 The regression guard for the opt-in contract: at default settings
-every subcommand's report must contain NO ``obs``/``monitor`` key
-anywhere (``trace`` attaches telemetry by design, so it is asserted
-monitor-free only).
+every subcommand's report must contain NO ``obs``/``monitor``/
+``explain``/``attribution`` key anywhere (``trace`` attaches telemetry
+by design, so it is asserted monitor-free only; ``explain`` IS the
+diagnosis subcommand, so it is asserted obs/monitor-free only).
 """
 
 import json
@@ -16,7 +17,8 @@ QUICK = ["--shape", "16,8,8", "--layouts", "multimap",
          "--drive", "minidrive", "--quiet"]
 
 
-def gated_keys(obj, names=("obs", "monitor")) -> set:
+def gated_keys(obj, names=("obs", "monitor", "explain",
+                           "attribution")) -> set:
     """Every gated key present anywhere in a JSON payload."""
     found = set()
     if isinstance(obj, dict):
@@ -74,3 +76,26 @@ class TestDefaultRunsAreUnobserved:
             "--clients", "2", "--queries", "2", "--quiet",
         ])
         assert "monitor" in data
+
+    def test_explain_never_carries_obs_or_monitor(self, tmp_path):
+        """EXPLAIN/ANALYZE runs under a *private* trace: the exported
+        payload must not leak the telemetry tree or monitor meta."""
+        data = run_json(tmp_path, [
+            "explain", "--shape", "16,8,8", "--drive", "minidrive",
+            "--analyze", "--quiet",
+        ])
+        assert "layouts" in data
+        assert gated_keys(data, names=("obs", "monitor")) == set()
+
+    def test_diff_without_attribute_stays_clean(self, tmp_path):
+        src = tmp_path / "run.json"
+        argv = ["trace", "--shape", "16,8,8", "--drive", "minidrive",
+                "--clients", "2", "--queries", "2", "--quiet",
+                "--json", str(src)]
+        assert main(argv) == 0
+        dest = tmp_path / "diff.json"
+        assert main(["diff", str(src), str(src), "--quiet",
+                     "--json", str(dest)]) == 0
+        data = json.loads(dest.read_text())
+        assert gated_keys(data, names=("attribution", "monitor",
+                                       "explain")) == set()
